@@ -1,0 +1,66 @@
+"""Fig. 2 — grid carbon intensity of the NA AWS regions over six months.
+
+The paper plots hourly Electricity Maps data for us-east-1, us-west-1,
+us-west-2, and ca-central-1 (July 2023 - January 2024), highlighting:
+ca-central-1's consistently low hydro intensity, us-west-1's solar
+diurnal swing, and us-east-1/us-west-2 sitting high.  This bench
+regenerates the synthetic traces at the same six-month horizon, prints
+the per-region summary, and asserts the §2.1 observations.
+"""
+
+import numpy as np
+
+from conftest import print_header
+from repro.data.carbon import CarbonIntensitySource, generate_carbon_trace
+
+SIX_MONTHS_HOURS = 24 * 184  # July..January
+REGIONS = ("us-east-1", "us-west-1", "us-west-2", "ca-central-1")
+
+
+def summarize(source: CarbonIntensitySource):
+    rows = {}
+    for region in REGIONS:
+        trace = np.asarray(source.trace(region))
+        by_hour = trace[: (len(trace) // 24) * 24].reshape(-1, 24).mean(axis=0)
+        rows[region] = {
+            "mean": trace.mean(),
+            "min": trace.min(),
+            "max": trace.max(),
+            "diurnal_swing": (by_hour.max() - by_hour.min()) / by_hour.mean(),
+            "peak_hour": int(np.argmax(by_hour)),
+        }
+    return rows
+
+
+def test_fig2_carbon_traces(benchmark):
+    source = CarbonIntensitySource(hours=SIX_MONTHS_HOURS, seed=0)
+    rows = summarize(source)
+
+    print_header("Fig. 2 — hourly grid carbon intensity, 4 NA regions, 6 months")
+    print(f"{'region':14s} {'mean':>8s} {'min':>8s} {'max':>8s} "
+          f"{'diurnal':>8s} {'peak@':>6s}")
+    for region, row in rows.items():
+        print(
+            f"{region:14s} {row['mean']:8.1f} {row['min']:8.1f} "
+            f"{row['max']:8.1f} {row['diurnal_swing']:7.1%} "
+            f"{row['peak_hour']:5d}h"
+        )
+
+    # §2.1 observation 1: ca-central-1 (hydro) is far below everything.
+    assert rows["ca-central-1"]["mean"] < 0.15 * rows["us-east-1"]["mean"]
+    # §9.2 I1 calibration: us-west-1 a few percent below us-east-1,
+    # us-west-2 comparable.
+    assert rows["us-west-1"]["mean"] < rows["us-east-1"]["mean"]
+    assert 0.85 < rows["us-west-2"]["mean"] / rows["us-east-1"]["mean"] < 1.15
+    # §2.1 observation 2: the solar grid has the strongest diurnal swing,
+    # peaking at night.
+    assert rows["us-west-1"]["diurnal_swing"] > 2 * rows["us-east-1"]["diurnal_swing"]
+    assert rows["us-west-1"]["peak_hour"] >= 20 or rows["us-west-1"]["peak_hour"] <= 4
+    # §2.1 observation 3: nearby western regions still differ.
+    west_gap = abs(
+        rows["us-west-1"]["diurnal_swing"] - rows["us-west-2"]["diurnal_swing"]
+    )
+    assert west_gap > 0.05
+
+    # Timed kernel: regenerating one region's six-month hourly trace.
+    benchmark(generate_carbon_trace, "US-CAISO", SIX_MONTHS_HOURS, 0)

@@ -1,0 +1,126 @@
+"""Fig. 7 — carbon normalised to us-east-1: coarse static single-region
+deployments vs Caribou fine-grained deployments over region combinations.
+
+For every benchmark x input size this reproduces the paper's bar groups:
+four manual coarse deployments (us-east-1/us-west-1/us-west-2/
+ca-central-1) and five Caribou runs (us-east-1+us-west-1, +us-west-2,
+the three-region US set, +ca-central-1, and all four regions), each
+priced under the best- and worst-case transmission scenarios.
+
+Shape assertions (the paper's insights):
+  I1 — static low-carbon deployment does not always reduce carbon;
+  I2 — Caribou avoids the worst-case spikes of naive offloading;
+  I3 — more/cleaner regions in the mix => more savings;
+  I5 — geometric-mean savings land in a band around the paper's
+       22.9 % (worst) / 66.6 % (best).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import (
+    COARSE_REGIONS,
+    INPUT_SIZES,
+    SCENARIOS,
+    normalized_carbon,
+    print_header,
+)
+from repro.apps import ALL_APPS, get_app
+from repro.experiments.harness import (
+    FIG7_FINE_REGION_SETS,
+    geometric_mean,
+    run_coarse,
+)
+
+FINE_LABELS = [f"fine:{name}" for name in FIG7_FINE_REGION_SETS]
+ALL_LABELS = [f"coarse:{r}" for r in COARSE_REGIONS] + FINE_LABELS
+
+
+def test_fig7_carbon_savings(fig7_results, benchmark):
+    print_header(
+        "Fig. 7 — carbon normalised to coarse us-east-1 "
+        "(rows: deployment; columns: scenario)"
+    )
+
+    norm = {}
+    for app_name in sorted(ALL_APPS):
+        for size in INPUT_SIZES:
+            print(f"\n--- {app_name} / {size} ---")
+            for label in ALL_LABELS:
+                values = []
+                for scenario in SCENARIOS:
+                    value = normalized_carbon(
+                        fig7_results, app_name, size, label, scenario
+                    )
+                    norm[(app_name, size, label, scenario)] = value
+                    values.append(value)
+                print(f"  {label:34s} best={values[0]:6.3f} "
+                      f"worst={values[1]:6.3f}")
+
+    # I5: geometric-mean reduction of the full Caribou deployment.
+    for scenario, low, high in (("best-case", 0.45, 0.90),
+                                ("worst-case", 0.08, 0.70)):
+        values = [
+            norm[(a, s, "fine:all", scenario)]
+            for a in sorted(ALL_APPS) for s in INPUT_SIZES
+        ]
+        reduction = 1.0 - geometric_mean(values)
+        print(f"\ngeometric-mean reduction (fine:all, {scenario}): "
+              f"{reduction:.1%}  [paper: 66.6 % best / 22.9 % worst]")
+        assert low < reduction < high, (
+            f"{scenario}: geomean reduction {reduction:.1%} outside "
+            f"({low:.0%}, {high:.0%})"
+        )
+
+    # Caribou with all regions is never dramatically worse than the best
+    # coarse option, and usually better (fine-grained dominance).
+    for app_name in sorted(ALL_APPS):
+        for size in INPUT_SIZES:
+            for scenario in SCENARIOS:
+                best_coarse = min(
+                    norm[(app_name, size, f"coarse:{r}", scenario)]
+                    for r in COARSE_REGIONS
+                )
+                fine = norm[(app_name, size, "fine:all", scenario)]
+                assert fine <= best_coarse * 1.35, (
+                    f"{app_name}/{size}/{scenario}: fine {fine:.3f} vs "
+                    f"best coarse {best_coarse:.3f}"
+                )
+
+    # I2: in the worst case, naive coarse offloading of the
+    # transmission-heavy app spikes above 1.0 while Caribou stays at or
+    # below the home baseline.
+    spike = norm[("image_processing", "large", "coarse:ca-central-1",
+                  "worst-case")]
+    caribou = norm[("image_processing", "large", "fine:all", "worst-case")]
+    print(f"\nI2 check (image_processing/large, worst): "
+          f"coarse ca-central-1 = {spike:.2f}, Caribou = {caribou:.2f}")
+    assert caribou < spike
+    assert caribou <= 1.1
+
+    # I3: adding ca-central-1 to the two-region mixes helps (best case).
+    for app_name in ("text2speech_censoring", "video_analytics"):
+        two = norm[(app_name, "small", "fine:us-east-1+us-west-1", "best-case")]
+        with_ca = norm[(app_name, "small", "fine:all", "best-case")]
+        assert with_ca <= two * 1.05
+
+    # I1: at least one coarse deployment to a lower-carbon region fails
+    # to beat home under the worst-case model somewhere in the matrix.
+    regressions = [
+        (a, s, r)
+        for a in sorted(ALL_APPS)
+        for s in INPUT_SIZES
+        for r in ("us-west-1", "us-west-2", "ca-central-1")
+        if norm[(a, s, f"coarse:{r}", "worst-case")] > 1.0
+    ]
+    print(f"\nI1 check: {len(regressions)} coarse deployments regress in "
+          f"the worst case, e.g. {regressions[:3]}")
+    assert regressions
+
+    # Timed kernel: one coarse measurement run (the unit of Fig. 7).
+    app = get_app("dna_visualization")
+    benchmark.pedantic(
+        lambda: run_coarse(app, "small", "us-east-1", seed=101,
+                           n_invocations=5, days=0.5),
+        rounds=1, iterations=1,
+    )

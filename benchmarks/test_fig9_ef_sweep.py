@@ -1,0 +1,115 @@
+"""Fig. 9 — normalised carbon vs transmission energy factor.
+
+Sweeps EF_trans over 1e-5..1e-1 kWh/GB under the paper's two accounting
+scenarios: equal intra/inter factor (scenario 1) and free intra-region
+transmission (scenario 2).  For each point Caribou re-solves (the solver
+sees the swept factor) and the measured runs are priced with it, then
+normalised to the coarse us-east-1 deployment under the same factor.
+
+Shape: normalised carbon is (weakly) monotone in EF — cheaper
+transmission unlocks more shifting — approaching the grid-differential
+limit (~90 % reduction, §9.3) as EF -> 0, and approaching/passing 1.0 as
+EF grows.
+"""
+
+from typing import Dict, Tuple
+
+import pytest
+
+from conftest import print_header
+from repro.apps import ALL_APPS, get_app
+from repro.core.solver import SolverSettings
+from repro.experiments.harness import (
+    geometric_mean,
+    run_caribou,
+    run_coarse,
+)
+from repro.metrics.carbon import TransmissionScenario
+
+EF_GRID = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1)
+SIZES = ("small", "large")
+REGIONS = ("us-east-1", "us-west-1", "us-west-2", "ca-central-1")
+#: 100 sweep cells: use a cheap solver — the monotone EF trend does not
+#: need a near-optimal plan, just a scenario-aware one.
+SWEEP_SOLVER = SolverSettings(batch_size=30, max_samples=90,
+                              cov_threshold=0.15, alpha_per_node_region=2)
+
+
+def scenario_for(kind: str, ef: float) -> TransmissionScenario:
+    if kind == "equal":
+        return TransmissionScenario.equal(ef)
+    return TransmissionScenario.free_intra(ef)
+
+
+@pytest.fixture(scope="module")
+def sweep_results() -> Dict[Tuple[str, str, str, float], float]:
+    """(kind, app, size, ef) -> normalised carbon."""
+    out: Dict[Tuple[str, str, str, float], float] = {}
+    for kind in ("equal", "free-intra"):
+        for app_name in sorted(ALL_APPS):
+            app = get_app(app_name)
+            for size in SIZES:
+                for ef in EF_GRID:
+                    scenario = scenario_for(kind, ef)
+                    baseline = run_coarse(
+                        app, size, "us-east-1", seed=200,
+                        n_invocations=10, days=2.0, scenarios=[scenario],
+                    )
+                    fine = run_caribou(
+                        app, size, REGIONS, seed=200, n_invocations=10,
+                        warmup=8, days=2.0, scenario_for_solver=scenario,
+                        scenarios=[scenario], solver_settings=SWEEP_SOLVER,
+                    )
+                    out[(kind, app_name, size, ef)] = (
+                        fine.carbon(scenario.name)
+                        / baseline.carbon(scenario.name)
+                    )
+    return out
+
+
+def test_fig9_ef_sweep(sweep_results, benchmark):
+    print_header("Fig. 9 — geometric-mean normalised carbon vs EF_trans")
+    print(f"{'EF (kWh/GB)':>12s} {'equal intra/inter':>18s} "
+          f"{'free intra':>12s}")
+
+    geomeans = {}
+    for ef in EF_GRID:
+        row = []
+        for kind in ("equal", "free-intra"):
+            values = [
+                sweep_results[(kind, a, s, ef)]
+                for a in sorted(ALL_APPS) for s in SIZES
+            ]
+            geomeans[(kind, ef)] = geometric_mean(values)
+            row.append(geomeans[(kind, ef)])
+        print(f"{ef:12.0e} {row[0]:18.3f} {row[1]:12.3f}")
+
+    for kind in ("equal", "free-intra"):
+        series = [geomeans[(kind, ef)] for ef in EF_GRID]
+        # Weak monotonicity: cheaper transmission can only help.
+        for lo, hi in zip(series, series[1:]):
+            assert lo <= hi * 1.12, (
+                f"{kind}: normalised carbon not monotone in EF: {series}"
+            )
+        # As EF -> 0 the reduction approaches the grid-differential
+        # limit (§9.3 reports 91.2 % geometric mean).
+        reduction_at_zero = 1.0 - series[0]
+        print(f"{kind}: reduction at EF=1e-5 is {reduction_at_zero:.1%} "
+              f"[paper: ~91.2 % as EF->0]")
+        assert reduction_at_zero > 0.70
+
+    # At a huge factor there is little to gain — the equal scenario's
+    # normalised carbon rises towards (or past) the home baseline.
+    assert geomeans[("equal", 1e-1)] > geomeans[("equal", 1e-5)] + 0.1
+
+    # Timed kernel: one sweep cell at bench fidelity.
+    app = get_app("dna_visualization")
+    scenario = scenario_for("equal", 1e-3)
+    benchmark.pedantic(
+        lambda: run_caribou(
+            app, "small", REGIONS, seed=201, n_invocations=4, warmup=4,
+            days=0.5, scenario_for_solver=scenario, scenarios=[scenario],
+            solver_settings=SWEEP_SOLVER,
+        ),
+        rounds=1, iterations=1,
+    )

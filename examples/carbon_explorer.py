@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Carbon explorer: the data behind the decisions.
+
+A small analytical companion to the runnable workflow examples: renders
+ASCII views of the synthetic grid carbon traces (the Fig. 2 substitute),
+shows the diurnal profiles the 24-hourly plans exploit, and quantifies
+the best possible shifting gain per hour of day — before any workflow
+enters the picture.
+
+Run:  python examples/carbon_explorer.py
+"""
+
+import numpy as np
+
+from repro.cloud.provider import SimulatedCloud
+from repro.data.regions import EVALUATION_REGIONS
+
+BAR_WIDTH = 48
+
+
+def bar(value: float, maximum: float) -> str:
+    filled = int(round(BAR_WIDTH * value / maximum))
+    return "#" * filled + "." * (BAR_WIDTH - filled)
+
+
+def main() -> None:
+    cloud = SimulatedCloud(seed=0, carbon_horizon_hours=24 * 7)
+    traces = {
+        region: np.asarray(cloud.carbon_source.trace(region))
+        for region in EVALUATION_REGIONS
+    }
+
+    print("== weekly average carbon intensity (gCO2eq/kWh) ==")
+    maximum = max(t.mean() for t in traces.values())
+    for region, trace in traces.items():
+        print(f"{region:14s} {trace.mean():7.1f}  {bar(trace.mean(), maximum)}")
+
+    print("\n== diurnal profile (hour-of-day means) ==")
+    print(f"{'hour':>4s}  " + "  ".join(f"{r:>13s}" for r in traces))
+    profiles = {
+        r: t.reshape(-1, 24).mean(axis=0) for r, t in traces.items()
+    }
+    for hour in range(24):
+        row = "  ".join(f"{profiles[r][hour]:13.1f}" for r in traces)
+        cleanest = min(traces, key=lambda r: profiles[r][hour])
+        print(f"{hour:4d}  {row}   <- {cleanest}")
+
+    print("\n== the shifting opportunity, hour by hour ==")
+    stacked = np.stack([profiles[r] for r in traces])
+    names = list(traces)
+    dirtiest = stacked.max(axis=0)
+    cleanest = stacked.min(axis=0)
+    print("potential intensity reduction by moving from the dirtiest to")
+    print("the cleanest region at each hour of day:")
+    for hour in range(0, 24, 3):
+        gain = 1 - cleanest[hour] / dirtiest[hour]
+        print(f"  {hour:02d}:00  {gain:6.1%}  {bar(gain, 1.0)}")
+
+    print("\n== without the hydro region (us-* only) ==")
+    us_only = {r: p for r, p in profiles.items() if r != "ca-central-1"}
+    su = np.stack(list(us_only.values()))
+    swing = 1 - su.min(axis=0) / su.max(axis=0)
+    print(f"hourly shifting gain within the US regions: "
+          f"min {swing.min():.1%}, mean {swing.mean():.1%}, "
+          f"max {swing.max():.1%}")
+    best_hour = int(np.argmax(swing))
+    print(f"the best US-only shifting window is around {best_hour:02d}:00, "
+          "when the solar grid bottoms out —")
+    print("exactly the diurnal pattern the 24-hourly deployment plans "
+          "are built to chase (§5.1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Caribou reproduction: fine-grained geospatial shifting of serverless
+applications for sustainability (SOSP 2024).
+
+A from-scratch Python implementation of the Caribou framework plus every
+substrate its evaluation depends on, simulated offline:
+
+* :mod:`repro.common` — virtual clock, deterministic RNG streams.
+* :mod:`repro.data` — synthetic carbon / pricing / latency / trace data.
+* :mod:`repro.cloud` — a simulated multi-region serverless provider.
+* :mod:`repro.model` — the workflow DAG model and deployment plans (§4).
+* :mod:`repro.metrics` — carbon/cost/latency models, Monte-Carlo
+  estimation, the Metrics Manager, Holt-Winters forecasting (§7).
+* :mod:`repro.core` — the developer API, static analysis, solvers,
+  token-bucket triggering, deployment/migration, and the cross-regional
+  execution runtime (§5, §6, §8).
+* :mod:`repro.apps` — the five benchmark workflows (Table 1).
+* :mod:`repro.experiments` — the §9 evaluation harness.
+
+Quickstart::
+
+    from repro.apps import get_app
+    from repro.experiments import run_caribou
+
+    outcome = run_caribou(
+        get_app("text2speech_censoring"), "small",
+        regions=("us-east-1", "us-west-1", "ca-central-1"),
+    )
+    print(outcome.per_scenario["best-case"].mean_carbon_g)
+"""
+
+from repro.cloud import SimulatedCloud
+from repro.core.api import Payload, Workflow
+from repro.model import DeploymentPlan, HourlyPlanSet, WorkflowConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Workflow",
+    "Payload",
+    "SimulatedCloud",
+    "DeploymentPlan",
+    "HourlyPlanSet",
+    "WorkflowConfig",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""The five benchmark workflows of the paper's evaluation (§9.1, Table 1).
+
+| Benchmark              | Structure        | Sync | Cond | Inputs          |
+|------------------------|------------------|------|------|-----------------|
+| DNA Visualization      | single node      |  no  |  no  | 69 KB / 1.1 MB  |
+| RAG Data Ingestion     | 2-stage pipeline |  no  |  no  | 33 / 115 pages  |
+| Image Processing       | fan-out + join   | yes  |  no  | 222 KB / 2.4 MB |
+| Text2Speech Censoring  | diamond + cond   | yes  | yes  | 1 KB / 12 KB    |
+| Video Analytics        | split/process/join | yes |  no | 206 KB / 2.4 MB |
+
+Each module exposes ``build_workflow()`` returning a *fresh*
+:class:`~repro.core.api.Workflow` (handlers are closures over it, so
+parallel experiments never share state) and ``make_input(size)``
+producing a small/large payload per Table 1.
+"""
+
+from repro.apps.base import ALL_APPS, BenchmarkApp, get_app
+from repro.apps import (  # noqa: F401  (registration side effects)
+    dna_visualization,
+    image_processing,
+    rag_ingestion,
+    text2speech,
+    video_analytics,
+)
+
+__all__ = ["ALL_APPS", "BenchmarkApp", "get_app"]

@@ -1,0 +1,80 @@
+"""Benchmark application registry and shared helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.core.api import Payload, Workflow
+from repro.model.config import Tolerances, WorkflowConfig
+
+#: Table 1 input sizes in bytes (pages are materialised at ~60 KB/page,
+#: a typical text-heavy PDF density).
+SMALL = "small"
+LARGE = "large"
+
+
+@dataclass(frozen=True)
+class BenchmarkApp:
+    """Registry entry for one benchmark workflow.
+
+    Attributes:
+        name: Workflow name (stable across builds).
+        build_workflow: Factory producing a fresh :class:`Workflow`.
+        make_input: ``size -> Payload`` for "small" / "large" (Table 1).
+        input_sizes: The Table 1 byte sizes per label.
+        has_sync / has_conditional: Structural facts (Table 1 columns).
+        n_stages: DAG node count after fan-out expansion.
+        description: One-line summary for reports.
+    """
+
+    name: str
+    build_workflow: Callable[[], Workflow]
+    make_input: Callable[[str], Payload]
+    input_sizes: Mapping[str, float]
+    has_sync: bool
+    has_conditional: bool
+    n_stages: int
+    description: str
+
+
+ALL_APPS: Dict[str, BenchmarkApp] = {}
+
+
+def register_app(app: BenchmarkApp) -> BenchmarkApp:
+    if app.name in ALL_APPS:
+        raise ValueError(f"benchmark app {app.name!r} already registered")
+    ALL_APPS[app.name] = app
+    return app
+
+
+def get_app(name: str) -> BenchmarkApp:
+    try:
+        return ALL_APPS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_APPS))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def default_config(
+    home_region: str = "us-east-1",
+    priority: str = "carbon",
+    tolerances: Optional[Tolerances] = None,
+    benchmarking_fraction: float = 0.10,
+    **kwargs,
+) -> WorkflowConfig:
+    """The manifest the evaluation deploys every benchmark with (§9.1:
+    home region us-east-1, carbon priority)."""
+    return WorkflowConfig(
+        home_region=home_region,
+        priority=priority,
+        tolerances=tolerances or Tolerances(),
+        benchmarking_fraction=benchmarking_fraction,
+        **kwargs,
+    )
+
+
+def check_input_size(size: str) -> str:
+    if size not in (SMALL, LARGE):
+        raise ValueError(f"input size must be 'small' or 'large', got {size!r}")
+    return size

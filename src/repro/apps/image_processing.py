@@ -1,0 +1,127 @@
+"""Image Processing benchmark (paper §9.1 #3, from FunctionBench).
+
+"A fan-out application that, given an image and a list of
+transformations, performs those transformations in parallel."  A
+prepare stage fans the image out to five short transformation stages
+(flip, rotate, grayscale, resize, blur) that rejoin at a collect stage
+— the classic transmission-heavy shape: the full image crosses to every
+branch while each branch computes for well under a second, which is why
+this workflow benefits least from geo-shifting in the worst-case
+transmission scenario (§9.2 I2, Fig. 8).  Inputs: 222 KB / 2.4 MB.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    LARGE,
+    SMALL,
+    BenchmarkApp,
+    check_input_size,
+    register_app,
+)
+from repro.cloud.functions import WorkProfile
+from repro.common.units import kb, mb
+from repro.core.api import Payload, Workflow
+
+WORKFLOW_NAME = "image_processing"
+
+INPUT_SIZES = {SMALL: kb(222), LARGE: mb(2.4)}
+
+TRANSFORMATIONS = ("flip", "rotate", "grayscale", "resize", "blur")
+
+
+def build_workflow() -> Workflow:
+    workflow = Workflow(name=WORKFLOW_NAME, version="1.0")
+
+    @workflow.serverless_function(
+        name="prepare",
+        memory_mb=1769,
+        entry_point=True,
+        # Decode + validation: quick, linear in image size.
+        profile=WorkProfile(
+            base_seconds=0.15,
+            seconds_per_mb=0.25,
+            cpu_utilization=0.8,
+            output_bytes_per_input_byte=1.0,
+        ),
+    )
+    def prepare(event):
+        image = event or {}
+        size = image.get("size_bytes", 0)
+        for transformation in image.get("transformations", TRANSFORMATIONS):
+            workflow.invoke_serverless_function(
+                Payload(
+                    content={"op": transformation, "size_bytes": size},
+                    size_bytes=size,
+                ),
+                transform,
+            )
+
+    @workflow.serverless_function(
+        name="transform",
+        memory_mb=1769,
+        max_instances=len(TRANSFORMATIONS),
+        # Each transformation is short-lived (§9.4 "very short-running
+        # workflows such as Image Processing").
+        profile=WorkProfile(
+            base_seconds=0.25,
+            seconds_per_mb=0.5,
+            cpu_utilization=0.85,
+            output_bytes_per_input_byte=0.9,
+        ),
+    )
+    def transform(event):
+        job = event or {}
+        result = {
+            "op": job.get("op", "noop"),
+            "size_bytes": job.get("size_bytes", 0) * 0.9,
+        }
+        workflow.invoke_serverless_function(
+            Payload(content=result, size_bytes=result["size_bytes"]),
+            collect,
+        )
+
+    @workflow.serverless_function(
+        name="collect",
+        memory_mb=1769,
+        profile=WorkProfile(
+            base_seconds=0.2,
+            seconds_per_mb=0.1,
+            cpu_utilization=0.6,
+            output_bytes_per_input_byte=1.0,
+        ),
+    )
+    def collect(event):
+        results = workflow.get_predecessor_data()
+        return {
+            "applied": sorted(p.content["op"] for p in results if p.content),
+            "n_results": len(results),
+        }
+
+    return workflow
+
+
+def make_input(size: str) -> Payload:
+    check_input_size(size)
+    return Payload(
+        content={
+            "image": f"photo-{size}.jpg",
+            "size_bytes": INPUT_SIZES[size],
+            "transformations": list(TRANSFORMATIONS),
+        },
+        size_bytes=INPUT_SIZES[size],
+    )
+
+
+register_app(
+    BenchmarkApp(
+        name=WORKFLOW_NAME,
+        build_workflow=build_workflow,
+        make_input=make_input,
+        input_sizes=INPUT_SIZES,
+        has_sync=True,
+        has_conditional=False,
+        n_stages=2 + len(TRANSFORMATIONS),
+        description="Parallel image transformation fan-out (FunctionBench).",
+    )
+)

@@ -1,0 +1,111 @@
+"""RAG Data Ingestion benchmark (paper §9.1 #2, from UBC-CIC
+document-chat).
+
+"A two-stage pipeline that, given an input PDF document, extracts
+document metadata and then generates bedrock embeddings for use as part
+of a 'Document Chat' LLM application."  A linear two-node chain; the
+embedding stage calls a managed model endpoint pinned near the home
+region (§9.1 fairness rule 1), so offloading it drags the chunked text
+across regions.  Inputs: 33 / 115 pages (Table 1), materialised at
+~60 KB/page.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    LARGE,
+    SMALL,
+    BenchmarkApp,
+    check_input_size,
+    register_app,
+)
+from repro.cloud.functions import WorkProfile
+from repro.common.units import kb, mb
+from repro.core.api import ExternalDataSpec, Payload, Workflow
+
+WORKFLOW_NAME = "rag_ingestion"
+
+PAGES = {SMALL: 33, LARGE: 115}
+BYTES_PER_PAGE = kb(60)
+INPUT_SIZES = {label: pages * BYTES_PER_PAGE for label, pages in PAGES.items()}
+
+
+def build_workflow() -> Workflow:
+    workflow = Workflow(name=WORKFLOW_NAME, version="1.0")
+
+    @workflow.serverless_function(
+        name="extract_metadata",
+        memory_mb=1769,
+        entry_point=True,
+        # PDF parsing: mostly linear in document size.
+        profile=WorkProfile(
+            base_seconds=0.6,
+            seconds_per_mb=1.2,
+            cpu_utilization=0.75,
+            output_bytes_per_input_byte=0.85,  # extracted text < raw PDF
+        ),
+    )
+    def extract_metadata(event):
+        doc = event or {}
+        pages = doc.get("pages", 0)
+        chunks = max(1, pages // 2)
+        metadata = {
+            "title": doc.get("title", "untitled"),
+            "pages": pages,
+            "chunks": chunks,
+        }
+        workflow.invoke_serverless_function(
+            Payload(
+                content=metadata,
+                size_bytes=doc.get("size_bytes", 0) * 0.85,
+            ),
+            generate_embeddings,
+        )
+
+    @workflow.serverless_function(
+        name="generate_embeddings",
+        memory_mb=3538,
+        # Embedding calls dominate: roughly constant per chunk of text.
+        profile=WorkProfile(
+            base_seconds=1.5,
+            seconds_per_mb=2.8,
+            cpu_utilization=0.55,
+            output_bytes_per_input_byte=0.4,  # dense vectors
+        ),
+        # The Bedrock-style endpoint + vector store live near home.
+        external_data=ExternalDataSpec(region="us-east-1", size_bytes=kb(256)),
+    )
+    def generate_embeddings(event):
+        metadata = event or {}
+        n_chunks = metadata.get("chunks", 1)
+        # Terminal stage: vectors land in the vector store.
+        return {"embedded_chunks": n_chunks, "dim": 1536}
+
+    return workflow
+
+
+def make_input(size: str) -> Payload:
+    check_input_size(size)
+    pages = PAGES[size]
+    return Payload(
+        content={
+            "title": f"doc-{size}",
+            "pages": pages,
+            "size_bytes": INPUT_SIZES[size],
+        },
+        size_bytes=INPUT_SIZES[size],
+    )
+
+
+register_app(
+    BenchmarkApp(
+        name=WORKFLOW_NAME,
+        build_workflow=build_workflow,
+        make_input=make_input,
+        input_sizes=INPUT_SIZES,
+        has_sync=False,
+        has_conditional=False,
+        n_stages=2,
+        description="PDF metadata extraction + embedding generation pipeline.",
+    )
+)

@@ -1,0 +1,182 @@
+"""Text2Speech Censoring benchmark (paper §9.1 #4, §2.4, Fig. 3).
+
+Turns text into censored speech: an upload/validation stage (regulation
+sensitive — pinned to US regions via function-level compliance
+constraints, exactly the Fig. 3 scenario) fans into a compute-heavy
+text-to-speech + wav-conversion path (the critical path) and a light
+profanity-detection path off the critical path; both join at a
+censoring sync node.  The profanity→censoring edge is *conditional*:
+when no profanity is found the edge is skipped and the sync node fires
+on the audio alone (Eq. 4.1's "at least one taken").
+
+Inputs: 1 KB / 12 KB of text (Table 1); the synthesised audio is ~100x
+the text size, so the intermediate data dwarfs the input.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    LARGE,
+    SMALL,
+    BenchmarkApp,
+    check_input_size,
+    register_app,
+)
+from repro.cloud.functions import WorkProfile
+from repro.common.units import kb
+from repro.core.api import ExternalDataSpec, Payload, Workflow
+
+WORKFLOW_NAME = "text2speech_censoring"
+
+INPUT_SIZES = {SMALL: kb(1), LARGE: kb(12)}
+
+#: Words the profanity detector flags (kept comically tame).
+PROFANITY = frozenset({"darn", "heck", "dang"})
+#: Synthesised wav bytes per input text byte.
+AUDIO_EXPANSION = 100.0
+
+
+def build_workflow() -> Workflow:
+    workflow = Workflow(name=WORKFLOW_NAME, version="1.0")
+
+    @workflow.serverless_function(
+        name="upload",
+        memory_mb=1769,
+        entry_point=True,
+        # Regulation-sensitive validation: must stay on US soil (Fig. 3
+        # "Regulation Sensitive"); the rest of the workflow is free to
+        # move — the compliance scenario §9.2 I3 highlights.
+        regions_and_providers={
+            "allowed_regions": [
+                {"region": "us-east-1"},
+                {"region": "us-east-2"},
+                {"region": "us-west-1"},
+                {"region": "us-west-2"},
+            ]
+        },
+        profile=WorkProfile(
+            base_seconds=0.3,
+            seconds_per_mb=2.0,
+            cpu_utilization=0.6,
+            output_bytes_per_input_byte=1.0,
+        ),
+    )
+    def upload(event):
+        doc = event or {}
+        text = doc.get("text", "")
+        size = doc.get("size_bytes", len(text))
+        body = Payload(content={"text": text, "size_bytes": size}, size_bytes=size)
+        workflow.invoke_serverless_function(body, text2speech)
+        workflow.invoke_serverless_function(body, profanity_detection)
+
+    @workflow.serverless_function(
+        name="text2speech",
+        memory_mb=3538,
+        # Speech synthesis is the expensive, critical-path stage (§2.4).
+        profile=WorkProfile(
+            base_seconds=3.0,
+            seconds_per_mb=180.0,  # text inputs are tiny; scale hard
+            cpu_utilization=0.9,
+            output_bytes_per_input_byte=AUDIO_EXPANSION,
+        ),
+    )
+    def text2speech(event):
+        doc = event or {}
+        size = doc.get("size_bytes", 0)
+        audio = Payload(
+            content={"format": "pcm", "text_bytes": size},
+            size_bytes=size * AUDIO_EXPANSION,
+        )
+        workflow.invoke_serverless_function(audio, conversion)
+
+    @workflow.serverless_function(
+        name="conversion",
+        memory_mb=1769,
+        profile=WorkProfile(
+            base_seconds=0.8,
+            seconds_per_mb=0.6,
+            cpu_utilization=0.8,
+            output_bytes_per_input_byte=1.0,
+        ),
+    )
+    def conversion(event):
+        audio = event or {}
+        wav = Payload(
+            content={"format": "wav", "text_bytes": audio.get("text_bytes", 0)},
+            size_bytes=audio.get("text_bytes", 0) * AUDIO_EXPANSION,
+        )
+        workflow.invoke_serverless_function(wav, censoring)
+
+    @workflow.serverless_function(
+        name="profanity_detection",
+        memory_mb=1769,
+        # Light and off the critical path: the prime offloading target
+        # (Fig. 3 "Can be Offloaded").
+        profile=WorkProfile(
+            base_seconds=0.5,
+            seconds_per_mb=15.0,
+            cpu_utilization=0.7,
+            output_bytes_per_input_byte=0.05,
+        ),
+    )
+    def profanity_detection(event):
+        doc = event or {}
+        words = str(doc.get("text", "")).lower().split()
+        hits = sorted({w.strip(".,!?") for w in words} & PROFANITY)
+        mask = Payload(
+            content={"profanities": hits}, size_bytes=kb(0.2) + 16 * len(hits)
+        )
+        # Conditional edge: only censor when something was found (§8).
+        workflow.invoke_serverless_function(mask, censoring, bool(hits))
+
+    @workflow.serverless_function(
+        name="censoring",
+        memory_mb=1769,
+        profile=WorkProfile(
+            base_seconds=1.2,
+            seconds_per_mb=0.4,
+            cpu_utilization=0.8,
+            output_bytes_per_input_byte=1.0,
+        ),
+        # The final artefact lands in home-region storage.
+        external_data=ExternalDataSpec(region="us-east-1", size_bytes=kb(64)),
+    )
+    def censoring(event):
+        inputs = workflow.get_predecessor_data()
+        audio_bytes = 0.0
+        profanities = []
+        for payload in inputs:
+            content = payload.content or {}
+            if content.get("format") == "wav":
+                audio_bytes = payload.size_bytes
+            if "profanities" in content:
+                profanities = content["profanities"]
+        return {"censored": len(profanities), "audio_bytes": audio_bytes}
+
+    return workflow
+
+
+def make_input(size: str, with_profanity: bool = True) -> Payload:
+    check_input_size(size)
+    words = ["the", "quick", "brown", "fox", "spoke", "clearly"]
+    if with_profanity:
+        words.append("darn")
+    text = " ".join(words)
+    return Payload(
+        content={"text": text, "size_bytes": INPUT_SIZES[size]},
+        size_bytes=INPUT_SIZES[size],
+    )
+
+
+register_app(
+    BenchmarkApp(
+        name=WORKFLOW_NAME,
+        build_workflow=build_workflow,
+        make_input=make_input,
+        input_sizes=INPUT_SIZES,
+        has_sync=True,
+        has_conditional=True,
+        n_stages=5,
+        description="Text-to-speech with parallel profanity censoring (Fig. 3).",
+    )
+)

@@ -1,0 +1,133 @@
+"""Video Analytics benchmark (paper §9.1 #5, vSwarm + INO dataset).
+
+"An application that recognizes objects in video frames by splitting
+the video into chunks, processing them in parallel, and then joining
+the results."  A split stage fans out to four recognition stages (the
+compute-heavy part — per-frame inference) joined by a result
+aggregator.  The most complex DAG in the suite ("fan outs and
+synchronization branches", §9.6).  Inputs: 206 KB / 2.4 MB clips.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    LARGE,
+    SMALL,
+    BenchmarkApp,
+    check_input_size,
+    register_app,
+)
+from repro.cloud.functions import WorkProfile
+from repro.common.units import kb, mb
+from repro.core.api import ExternalDataSpec, Payload, Workflow
+
+WORKFLOW_NAME = "video_analytics"
+
+INPUT_SIZES = {SMALL: kb(206), LARGE: mb(2.4)}
+
+N_CHUNKS = 4
+#: Classes the toy recogniser can report (stands in for the INO labels).
+LABELS = ("person", "car", "bicycle", "dog")
+
+
+def build_workflow() -> Workflow:
+    workflow = Workflow(name=WORKFLOW_NAME, version="1.0")
+
+    @workflow.serverless_function(
+        name="split",
+        memory_mb=1769,
+        entry_point=True,
+        # Demux/chunking: I/O bound, linear in clip size.
+        profile=WorkProfile(
+            base_seconds=0.5,
+            seconds_per_mb=0.8,
+            cpu_utilization=0.7,
+            output_bytes_per_input_byte=1.0,
+        ),
+    )
+    def split(event):
+        video = event or {}
+        size = video.get("size_bytes", 0)
+        n_chunks = int(video.get("chunks", N_CHUNKS))
+        for index in range(n_chunks):
+            workflow.invoke_serverless_function(
+                Payload(
+                    content={"chunk": index, "frames": 30},
+                    size_bytes=size / max(1, n_chunks),
+                ),
+                recognize,
+            )
+
+    @workflow.serverless_function(
+        name="recognize",
+        memory_mb=3538,
+        max_instances=N_CHUNKS,
+        # Per-frame inference dominates: compute-heavy, which is what
+        # makes this workflow a good shifting candidate (Fig. 8).
+        profile=WorkProfile(
+            base_seconds=2.2,
+            seconds_per_mb=3.5,
+            cpu_utilization=0.95,
+            output_bytes_per_input_byte=0.02,  # labels, not pixels
+            output_base_bytes=2048.0,
+        ),
+    )
+    def recognize(event):
+        chunk = event or {}
+        index = int(chunk.get("chunk", 0))
+        detections = [
+            {"label": LABELS[(index + f) % len(LABELS)], "frame": f}
+            for f in range(0, int(chunk.get("frames", 30)), 10)
+        ]
+        workflow.invoke_serverless_function(
+            Payload(
+                content={"chunk": index, "detections": detections},
+                size_bytes=kb(2) + 64 * len(detections),
+            ),
+            join_results,
+        )
+
+    @workflow.serverless_function(
+        name="join_results",
+        memory_mb=1769,
+        profile=WorkProfile(
+            base_seconds=0.4,
+            seconds_per_mb=0.1,
+            cpu_utilization=0.5,
+            output_bytes_per_input_byte=1.0,
+        ),
+        # Aggregated detections are written to home-region storage.
+        external_data=ExternalDataSpec(region="us-east-1", size_bytes=kb(32)),
+    )
+    def join_results(event):
+        chunks = workflow.get_predecessor_data()
+        counts: dict = {}
+        for payload in chunks:
+            for det in (payload.content or {}).get("detections", []):
+                counts[det["label"]] = counts.get(det["label"], 0) + 1
+        return {"chunks": len(chunks), "objects": counts}
+
+    return workflow
+
+
+def make_input(size: str) -> Payload:
+    check_input_size(size)
+    return Payload(
+        content={"video": f"clip-{size}.mp4", "size_bytes": INPUT_SIZES[size],
+                 "chunks": N_CHUNKS},
+        size_bytes=INPUT_SIZES[size],
+    )
+
+
+register_app(
+    BenchmarkApp(
+        name=WORKFLOW_NAME,
+        build_workflow=build_workflow,
+        make_input=make_input,
+        input_sizes=INPUT_SIZES,
+        has_sync=True,
+        has_conditional=False,
+        n_stages=2 + N_CHUNKS,
+        description="Chunked video object recognition with fan-out/join.",
+    )
+)

@@ -1,0 +1,173 @@
+"""Command-line interface (the paper's Deployment Utility CLI, §6.1/§8).
+
+The original ``caribou`` package ships a CLI for deploying workflows and
+proxy-invoking them.  Offline, the CLI operates on the bundled benchmark
+workflows against a simulated cloud:
+
+    caribou list                       # available benchmark workflows
+    caribou deploy <app>               # initial deployment (home region)
+    caribou run <app> [-n N] [--size large] [--regions r1,r2]
+    caribou solve <app> [--regions ...]  # print the 24-hour plan set
+    caribou carbon [--hours H]           # show the synthetic carbon traces
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.apps import ALL_APPS, get_app
+from repro.cloud.provider import SimulatedCloud
+from repro.data.regions import EVALUATION_REGIONS
+from repro.experiments.harness import (
+    deploy_benchmark,
+    run_caribou,
+    run_coarse,
+    solve_plan_set,
+    warm_up,
+)
+from repro.metrics.carbon import TransmissionScenario
+
+
+def _parse_regions(raw: Optional[str]) -> tuple:
+    if not raw:
+        return tuple(EVALUATION_REGIONS)
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'workflow':28s} {'stages':>6s} {'sync':>5s} {'cond':>5s}  description")
+    for app in ALL_APPS.values():
+        print(
+            f"{app.name:28s} {app.n_stages:6d} "
+            f"{'yes' if app.has_sync else 'no':>5s} "
+            f"{'yes' if app.has_conditional else 'no':>5s}  {app.description}"
+        )
+    return 0
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    app = get_app(args.app)
+    cloud = SimulatedCloud(seed=args.seed, regions=_parse_regions(args.regions))
+    deployed, _executor, _utility = deploy_benchmark(app, cloud)
+    print(f"deployed {deployed.name!r} to {deployed.config.home_region}")
+    print(f"  nodes: {', '.join(deployed.dag.node_names)}")
+    print(f"  sync nodes: {', '.join(deployed.dag.sync_nodes) or '(none)'}")
+    print(f"  functions: {len(deployed.workflow.functions)}")
+    print(f"  IAM roles: {len(cloud.iam.roles())}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    app = get_app(args.app)
+    regions = _parse_regions(args.regions)
+    if args.coarse:
+        outcome = run_coarse(
+            app, args.size, args.coarse, seed=args.seed,
+            n_invocations=args.invocations,
+        )
+    else:
+        outcome = run_caribou(
+            app, args.size, regions, seed=args.seed,
+            n_invocations=args.invocations,
+        )
+    print(f"{outcome.label}: {outcome.n_invocations} invocations")
+    print(f"  mean service time : {outcome.mean_service_time_s:8.3f} s")
+    print(f"  p95 service time  : {outcome.p95_service_time_s:8.3f} s")
+    for name, stats in outcome.per_scenario.items():
+        print(
+            f"  [{name}] carbon {stats.mean_carbon_g * 1000:8.3f} mgCO2eq/inv "
+            f"(exec {stats.mean_exec_carbon_g * 1000:.3f} / "
+            f"trans {stats.mean_trans_carbon_g * 1000:.3f}), "
+            f"cost ${stats.mean_cost_usd:.6f}"
+        )
+    print(f"  regions used      : {', '.join(outcome.regions_used)}")
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    app = get_app(args.app)
+    regions = _parse_regions(args.regions)
+    cloud = SimulatedCloud(seed=args.seed, regions=regions)
+    deployed, executor, _utility = deploy_benchmark(app, cloud)
+    warm_up(executor, app, args.size, n=10)
+    scenario = (
+        TransmissionScenario.worst_case()
+        if args.worst_case
+        else TransmissionScenario.best_case()
+    )
+    plan_set = solve_plan_set(deployed, executor, scenario)
+    print(f"24-hour plan set for {app.name} over {', '.join(regions)}:")
+    last = None
+    for hour in range(24):
+        plan = plan_set.plan_for_hour(hour)
+        summary = ", ".join(f"{n}->{r}" for n, r in sorted(plan.assignments.items()))
+        if summary != last:
+            print(f"  {hour:02d}:00  {summary}")
+            last = summary
+    return 0
+
+
+def cmd_carbon(args: argparse.Namespace) -> int:
+    cloud = SimulatedCloud(seed=args.seed)
+    hours = min(args.hours, cloud.carbon_source.horizon_hours)
+    print(f"{'hour':>4s}  " + "  ".join(f"{r:>14s}" for r in cloud.regions))
+    for hour in range(hours):
+        row = "  ".join(
+            f"{cloud.carbon_source.intensity_at_hour(r, hour):14.1f}"
+            for r in cloud.regions
+        )
+        print(f"{hour:4d}  {row}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="caribou",
+        description="Caribou reproduction CLI (simulated cloud).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list benchmark workflows")
+    p_list.set_defaults(func=cmd_list)
+
+    p_deploy = sub.add_parser("deploy", help="initial deployment of a workflow")
+    p_deploy.add_argument("app")
+    p_deploy.add_argument("--regions", default=None)
+    p_deploy.add_argument("--seed", type=int, default=0)
+    p_deploy.set_defaults(func=cmd_deploy)
+
+    p_run = sub.add_parser("run", help="deploy + solve + run invocations")
+    p_run.add_argument("app")
+    p_run.add_argument("--size", choices=("small", "large"), default="small")
+    p_run.add_argument("-n", "--invocations", type=int, default=20)
+    p_run.add_argument("--regions", default=None)
+    p_run.add_argument("--coarse", metavar="REGION", default=None,
+                       help="static single-region deployment instead of Caribou")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(func=cmd_run)
+
+    p_solve = sub.add_parser("solve", help="print the solved 24-hour plan set")
+    p_solve.add_argument("app")
+    p_solve.add_argument("--size", choices=("small", "large"), default="small")
+    p_solve.add_argument("--regions", default=None)
+    p_solve.add_argument("--worst-case", action="store_true")
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.set_defaults(func=cmd_solve)
+
+    p_carbon = sub.add_parser("carbon", help="show synthetic carbon traces")
+    p_carbon.add_argument("--hours", type=int, default=24)
+    p_carbon.add_argument("--seed", type=int, default=0)
+    p_carbon.set_defaults(func=cmd_carbon)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

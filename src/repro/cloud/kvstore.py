@@ -1,0 +1,220 @@
+"""Distributed key-value store (DynamoDB substitute).
+
+Caribou's components "interact asynchronously through a distributed
+key-value store" (§3): deployment plans, workflow metadata, sync-node
+edge annotations, and intermediate data all live here.  The critical
+semantic the workflow model needs is the *atomic* update of a sync
+node's edge annotation (§4): the predecessor that completes the
+invocation condition last is the one that invokes the sync node, which
+requires read-modify-write atomicity.
+
+The store is hosted in a home region; accesses from other regions pay
+the inter-region round trip.  Every access is metered as a read or write
+request unit for the cost model (§7.1 "additional DynamoDB accesses
+introduced by Caribou").
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.cloud.ledger import KvAccessRecord, MeteringLedger
+from repro.cloud.simulator import SimulationEnvironment
+from repro.common.errors import ConditionalCheckFailed, KeyValueStoreError
+from repro.data.latency import LatencySource
+
+
+class KeyValueStore:
+    """A multi-table KV store hosted in one region.
+
+    All operations return ``(result, access_latency_s)`` so callers can
+    fold storage round trips into their virtual-time accounting.
+    """
+
+    def __init__(
+        self,
+        env: SimulationEnvironment,
+        region: str,
+        latency_source: LatencySource,
+        ledger: MeteringLedger,
+        base_latency_s: float = 0.004,
+    ):
+        """Args:
+        env: Simulation environment.
+        region: Region hosting the store.
+        latency_source: For cross-region access RTTs.
+        ledger: Metering sink.
+        base_latency_s: Single-digit-millisecond request latency that
+            DynamoDB exhibits even for local callers.
+        """
+        self._env = env
+        self.region = region
+        self._latency = latency_source
+        self._ledger = ledger
+        self._base_latency = base_latency_s
+        self._tables: Dict[str, Dict[str, Any]] = {}
+
+    # -- infrastructure ----------------------------------------------------
+    def _access_latency(self, caller_region: str) -> float:
+        if caller_region == self.region:
+            return self._base_latency
+        return self._base_latency + self._latency.rtt(caller_region, self.region)
+
+    def _meter(
+        self, table: str, caller_region: str, write: bool, workflow: str, request_id: str
+    ) -> float:
+        self._ledger.record_kv_access(
+            KvAccessRecord(
+                workflow=workflow,
+                table=table,
+                region=self.region,
+                start_s=self._env.now(),
+                write=write,
+                request_id=request_id,
+            )
+        )
+        return self._access_latency(caller_region)
+
+    def _table(self, name: str) -> Dict[str, Any]:
+        return self._tables.setdefault(name, {})
+
+    def tables(self) -> Tuple[str, ...]:
+        return tuple(self._tables)
+
+    # -- operations ---------------------------------------------------------
+    def put(
+        self,
+        table: str,
+        key: str,
+        value: Any,
+        caller_region: Optional[str] = None,
+        workflow: str = "",
+        request_id: str = "",
+    ) -> float:
+        """Store ``value`` under ``key``.  Returns access latency."""
+        caller = caller_region or self.region
+        self._table(table)[key] = copy.deepcopy(value)
+        return self._meter(table, caller, True, workflow, request_id)
+
+    def get(
+        self,
+        table: str,
+        key: str,
+        caller_region: Optional[str] = None,
+        default: Any = None,
+        workflow: str = "",
+        request_id: str = "",
+    ) -> Tuple[Any, float]:
+        """Fetch ``key``.  Returns ``(value or default, latency)``."""
+        caller = caller_region or self.region
+        latency = self._meter(table, caller, False, workflow, request_id)
+        value = self._table(table).get(key, default)
+        return copy.deepcopy(value), latency
+
+    def delete(
+        self,
+        table: str,
+        key: str,
+        caller_region: Optional[str] = None,
+        workflow: str = "",
+        request_id: str = "",
+    ) -> float:
+        caller = caller_region or self.region
+        self._table(table).pop(key, None)
+        return self._meter(table, caller, True, workflow, request_id)
+
+    def update(
+        self,
+        table: str,
+        key: str,
+        fn: Callable[[Any], Any],
+        caller_region: Optional[str] = None,
+        default: Any = None,
+        workflow: str = "",
+        request_id: str = "",
+    ) -> Tuple[Any, float]:
+        """Atomically apply ``fn`` to the current value (read-modify-write).
+
+        This is the primitive sync-node edge annotations rely on (§4):
+        the simulator is single-threaded, so applying ``fn`` in place is
+        genuinely atomic with respect to all other simulated actors.
+
+        Returns ``(new_value, latency)``.
+        """
+        caller = caller_region or self.region
+        tbl = self._table(table)
+        current = copy.deepcopy(tbl.get(key, default))
+        new_value = fn(current)
+        tbl[key] = copy.deepcopy(new_value)
+        latency = self._meter(table, caller, True, workflow, request_id)
+        return new_value, latency
+
+    def conditional_put(
+        self,
+        table: str,
+        key: str,
+        expected: Any,
+        value: Any,
+        caller_region: Optional[str] = None,
+        workflow: str = "",
+        request_id: str = "",
+    ) -> float:
+        """Compare-and-set: write ``value`` only if current == ``expected``.
+
+        Raises :class:`ConditionalCheckFailed` on mismatch (DynamoDB's
+        ``ConditionalCheckFailedException``), still charging a write unit
+        as DynamoDB does.
+        """
+        caller = caller_region or self.region
+        tbl = self._table(table)
+        latency = self._meter(table, caller, True, workflow, request_id)
+        current = tbl.get(key)
+        if current != expected:
+            raise ConditionalCheckFailed(
+                f"{table}/{key}: expected {expected!r}, found {current!r}"
+            )
+        tbl[key] = copy.deepcopy(value)
+        return latency
+
+    def increment(
+        self,
+        table: str,
+        key: str,
+        amount: float = 1.0,
+        caller_region: Optional[str] = None,
+        workflow: str = "",
+        request_id: str = "",
+    ) -> Tuple[float, float]:
+        """Atomic counter increment.  Returns ``(new_value, latency)``."""
+
+        def bump(current: Any) -> float:
+            if current is None:
+                return amount
+            if not isinstance(current, (int, float)):
+                raise KeyValueStoreError(
+                    f"{table}/{key} holds non-numeric value {current!r}"
+                )
+            return current + amount
+
+        return self.update(
+            table,
+            key,
+            bump,
+            caller_region=caller_region,
+            default=None,
+            workflow=workflow,
+            request_id=request_id,
+        )
+
+    def scan(
+        self,
+        table: str,
+        caller_region: Optional[str] = None,
+        workflow: str = "",
+        request_id: str = "",
+    ) -> Tuple[Dict[str, Any], float]:
+        """Return a deep copy of the whole table (DynamoDB Scan)."""
+        caller = caller_region or self.region
+        latency = self._meter(table, caller, False, workflow, request_id)
+        return copy.deepcopy(self._table(table)), latency

@@ -1,0 +1,187 @@
+"""Metering ledger: the raw telemetry every experiment is built on.
+
+Each simulated service appends immutable records here — function
+executions (what AWS Lambda logs + Lambda Insights would expose, §7.2),
+data transmissions, pub/sub publishes, and KV-store accesses.  Higher
+layers (the Metrics Manager, the experiment harness) derive carbon, cost,
+and latency from these records; the ledger itself stores measurements
+only, mirroring the paper's separation between raw data sources and
+data-processing (Fig. 4, orange vs yellow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One function execution (Lambda log line + Insights metrics).
+
+    Attributes:
+        workflow: Workflow instance name.
+        node: DAG node id executed.
+        function: Source-code function name backing the node.
+        region: Region the execution ran in.
+        request_id: End-to-end workflow invocation this belongs to.
+        start_s / duration_s: Virtual start time and billed duration.
+        memory_mb: Configured memory size.
+        n_vcpu: vCPUs allotted (memory_mb / 1769, §7.1).
+        cpu_total_time_s: Total CPU time across vCPUs (Lambda Insights'
+            ``cpu_total_time``, used for the utilisation power model).
+        cold_start: Whether a new container was provisioned.
+        payload_bytes: Input payload size.
+        output_bytes: Output payload size.
+    """
+
+    workflow: str
+    node: str
+    function: str
+    region: str
+    request_id: str
+    start_s: float
+    duration_s: float
+    memory_mb: int
+    n_vcpu: float
+    cpu_total_time_s: float
+    cold_start: bool
+    payload_bytes: float
+    output_bytes: float
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class TransmissionRecord:
+    """One inter- or intra-region data transfer.
+
+    Covers both intermediate-data hops between DAG nodes and framework
+    traffic (image copies, KV replication), distinguished by ``kind``.
+    """
+
+    workflow: str
+    src_region: str
+    dst_region: str
+    size_bytes: float
+    start_s: float
+    latency_s: float
+    request_id: str = ""
+    kind: str = "data"  # "data" | "image" | "control"
+    edge: str = ""  # "src_node->dst_node" for data hops
+
+    @property
+    def intra_region(self) -> bool:
+        return self.src_region == self.dst_region
+
+
+@dataclass(frozen=True)
+class MessagingRecord:
+    """One pub/sub publish (SNS message, billed per publish)."""
+
+    workflow: str
+    topic: str
+    region: str
+    start_s: float
+    size_bytes: float
+    request_id: str = ""
+
+
+@dataclass(frozen=True)
+class KvAccessRecord:
+    """One key-value store access (DynamoDB request unit)."""
+
+    workflow: str
+    table: str
+    region: str
+    start_s: float
+    write: bool
+    request_id: str = ""
+
+
+class MeteringLedger:
+    """Append-only store of telemetry records with simple querying."""
+
+    def __init__(self) -> None:
+        self.executions: List[ExecutionRecord] = []
+        self.transmissions: List[TransmissionRecord] = []
+        self.messages: List[MessagingRecord] = []
+        self.kv_accesses: List[KvAccessRecord] = []
+
+    # -- append -----------------------------------------------------------
+    def record_execution(self, record: ExecutionRecord) -> None:
+        self.executions.append(record)
+
+    def record_transmission(self, record: TransmissionRecord) -> None:
+        self.transmissions.append(record)
+
+    def record_message(self, record: MessagingRecord) -> None:
+        self.messages.append(record)
+
+    def record_kv_access(self, record: KvAccessRecord) -> None:
+        self.kv_accesses.append(record)
+
+    # -- query ------------------------------------------------------------
+    def executions_for(
+        self, workflow: Optional[str] = None, request_id: Optional[str] = None
+    ) -> List[ExecutionRecord]:
+        return [
+            r
+            for r in self.executions
+            if (workflow is None or r.workflow == workflow)
+            and (request_id is None or r.request_id == request_id)
+        ]
+
+    def transmissions_for(
+        self, workflow: Optional[str] = None, request_id: Optional[str] = None
+    ) -> List[TransmissionRecord]:
+        return [
+            r
+            for r in self.transmissions
+            if (workflow is None or r.workflow == workflow)
+            and (request_id is None or r.request_id == request_id)
+        ]
+
+    def messages_for(
+        self, workflow: Optional[str] = None, request_id: Optional[str] = None
+    ) -> List[MessagingRecord]:
+        return [
+            r
+            for r in self.messages
+            if (workflow is None or r.workflow == workflow)
+            and (request_id is None or r.request_id == request_id)
+        ]
+
+    def kv_accesses_for(
+        self, workflow: Optional[str] = None, request_id: Optional[str] = None
+    ) -> List[KvAccessRecord]:
+        return [
+            r
+            for r in self.kv_accesses
+            if (workflow is None or r.workflow == workflow)
+            and (request_id is None or r.request_id == request_id)
+        ]
+
+    def request_ids(self, workflow: str) -> List[str]:
+        """Distinct request ids seen for ``workflow``, in arrival order."""
+        seen: Dict[str, None] = {}
+        for r in self.executions:
+            if r.workflow == workflow and r.request_id not in seen:
+                seen[r.request_id] = None
+        return list(seen)
+
+    def service_time(self, workflow: str, request_id: str) -> float:
+        """End-to-end service time of one invocation (§9.1 definition):
+        first function start to last function end."""
+        execs = self.executions_for(workflow, request_id)
+        if not execs:
+            raise KeyError(f"no executions for {workflow}/{request_id}")
+        return max(e.end_s for e in execs) - min(e.start_s for e in execs)
+
+    def clear(self) -> None:
+        self.executions.clear()
+        self.transmissions.clear()
+        self.messages.clear()
+        self.kv_accesses.clear()

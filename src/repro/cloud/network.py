@@ -1,0 +1,107 @@
+"""Inter-region network model.
+
+Every byte that crosses a region boundary matters three ways in the
+paper: transmission *latency* (QoS), egress *cost* (§7.1), and
+transmission *carbon* (Eq. 7.5).  This module models latency and records
+transfers in the ledger; carbon and cost are derived later by the metrics
+layer so that a single simulated run can be re-priced under the paper's
+best-/worst-case transmission-energy scenarios without re-running.
+
+Transfer latency = one-way propagation (CloudPing-derived RTT / 2)
++ size / effective bandwidth + multiplicative jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cloud.ledger import MeteringLedger, TransmissionRecord
+from repro.cloud.simulator import SimulationEnvironment
+from repro.common.units import GB
+from repro.data.latency import LatencySource
+
+#: Effective cross-region throughput for serverless payloads, bytes/sec.
+#: (Conservative relative to backbone capacity: per-connection TCP over
+#: long fat pipes, as SNS/Lambda payload hops see in practice.)
+DEFAULT_INTER_REGION_BANDWIDTH = 40e6
+#: Intra-region service-to-service throughput, bytes/sec.
+DEFAULT_INTRA_REGION_BANDWIDTH = 200e6
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one transfer: when it lands and what it consumed."""
+
+    latency_s: float
+    size_bytes: float
+    src_region: str
+    dst_region: str
+
+
+class Network:
+    """Latency/jitter model for transfers, with ledger recording."""
+
+    def __init__(
+        self,
+        env: SimulationEnvironment,
+        latency_source: LatencySource,
+        ledger: MeteringLedger,
+        inter_region_bandwidth: float = DEFAULT_INTER_REGION_BANDWIDTH,
+        intra_region_bandwidth: float = DEFAULT_INTRA_REGION_BANDWIDTH,
+        jitter_std: float = 0.08,
+    ):
+        self._env = env
+        self._latency = latency_source
+        self._ledger = ledger
+        self._inter_bw = inter_region_bandwidth
+        self._intra_bw = intra_region_bandwidth
+        self._jitter_std = jitter_std
+        self._rng = env.rng.get("network")
+
+    def transfer_latency(
+        self, src: str, dst: str, size_bytes: float, jitter: bool = True
+    ) -> float:
+        """Latency in seconds to move ``size_bytes`` from ``src`` to ``dst``."""
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be non-negative, got {size_bytes}")
+        propagation = self._latency.one_way(src, dst)
+        bandwidth = self._intra_bw if src == dst else self._inter_bw
+        serialisation = size_bytes / bandwidth
+        base = propagation + serialisation
+        if jitter and self._jitter_std > 0:
+            base *= max(0.2, 1.0 + self._rng.normal(0.0, self._jitter_std))
+        return base
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: float,
+        workflow: str = "",
+        request_id: str = "",
+        kind: str = "data",
+        edge: str = "",
+    ) -> TransferResult:
+        """Perform a transfer now, recording it in the ledger.
+
+        The caller is responsible for scheduling whatever happens at
+        arrival time (``env.now() + latency_s``).
+        """
+        latency = self.transfer_latency(src, dst, size_bytes)
+        self._ledger.record_transmission(
+            TransmissionRecord(
+                workflow=workflow,
+                src_region=src,
+                dst_region=dst,
+                size_bytes=size_bytes,
+                start_s=self._env.now(),
+                latency_s=latency,
+                request_id=request_id,
+                kind=kind,
+                edge=edge,
+            )
+        )
+        return TransferResult(
+            latency_s=latency, size_bytes=size_bytes, src_region=src, dst_region=dst
+        )

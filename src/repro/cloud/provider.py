@@ -1,0 +1,99 @@
+"""The simulated cloud provider facade.
+
+Wires one :class:`~repro.cloud.simulator.SimulationEnvironment` together
+with every service the framework needs — network, functions, pub/sub,
+object storage, container registries, IAM, Step Functions — plus the
+synthetic external data sources (carbon, pricing, latency).  One
+``SimulatedCloud`` is one self-consistent "world" for an experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.cloud.functions import FunctionService
+from repro.cloud.kvstore import KeyValueStore
+from repro.cloud.ledger import MeteringLedger
+from repro.cloud.network import Network
+from repro.cloud.pubsub import PubSubService
+from repro.cloud.registry import ContainerRegistry, IamService
+from repro.cloud.simulator import SimulationEnvironment
+from repro.cloud.stepfunctions import StepFunctionsService
+from repro.cloud.storage import ObjectStore
+from repro.data.carbon import CarbonIntensitySource
+from repro.data.latency import LatencySource
+from repro.data.pricing import PricingSource
+from repro.data.regions import EVALUATION_REGIONS, get_region
+
+
+class SimulatedCloud:
+    """All services of the provider, sharing one clock, RNG, and ledger."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        regions: Optional[Sequence[str]] = None,
+        carbon_horizon_hours: int = 24 * 7,
+        carbon_overrides: Optional[Mapping[str, Sequence[float]]] = None,
+    ):
+        """Build a cloud.
+
+        Args:
+            seed: Experiment seed; drives every stochastic component.
+            regions: Regions available for deployment.  Defaults to the
+                paper's four evaluation regions (§9.1).
+            carbon_horizon_hours: Length of the materialised carbon
+                traces (defaults to the paper's one-week window).
+            carbon_overrides: Explicit carbon series per grid zone (for
+                tests / what-if studies).
+        """
+        self.regions: tuple = tuple(regions if regions is not None else EVALUATION_REGIONS)
+        for name in self.regions:
+            get_region(name)  # validate early
+
+        self.env = SimulationEnvironment(seed=seed)
+        self.ledger = MeteringLedger()
+        self.latency_source = LatencySource()
+        self.pricing_source = PricingSource()
+        self.carbon_source = CarbonIntensitySource(
+            hours=carbon_horizon_hours, seed=seed, overrides=carbon_overrides
+        )
+        self.network = Network(self.env, self.latency_source, self.ledger)
+        self.functions = FunctionService(self.env, self.ledger)
+        self.pubsub = PubSubService(self.env, self.network, self.ledger)
+        self.storage = ObjectStore(self.env, self.network)
+        self.registry = ContainerRegistry(self.env, self.network)
+        self.iam = IamService()
+        self._kvstores: Dict[str, KeyValueStore] = {}
+        self._stepfunctions: Dict[str, StepFunctionsService] = {}
+
+    def kvstore(self, region: str) -> KeyValueStore:
+        """The distributed key-value store hosted in ``region``.
+
+        Caribou keeps its metadata (deployment plans, annotations,
+        intermediate data) in one store in the framework's region; this
+        accessor creates it lazily.
+        """
+        if region not in self._kvstores:
+            get_region(region)
+            self._kvstores[region] = KeyValueStore(
+                self.env, region, self.latency_source, self.ledger
+            )
+        return self._kvstores[region]
+
+    def stepfunctions(self, region: str) -> StepFunctionsService:
+        """The Step Functions orchestration service in ``region``."""
+        if region not in self._stepfunctions:
+            get_region(region)
+            self._stepfunctions[region] = StepFunctionsService(self.env, region)
+        return self._stepfunctions[region]
+
+    def now(self) -> float:
+        return self.env.now()
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Advance the simulation (see :meth:`SimulationEnvironment.run`)."""
+        return self.env.run(until=until)
+
+    def run_until_idle(self) -> int:
+        return self.env.run_until_idle()

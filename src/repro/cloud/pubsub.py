@@ -1,0 +1,183 @@
+"""Publisher/subscriber messaging (SNS substitute).
+
+Caribou uses pub/sub as its "geospatial offloading glue" (§6.2): each
+function in each region subscribes to one topic; invoking a successor
+means publishing a message to the successor's topic in whatever region
+the deployment plan placed it.  The properties the framework relies on
+are reproduced here:
+
+* topics are region-scoped, one per (function, region);
+* delivery is at-least-once: an unacknowledged (raising) subscriber is
+  retried with backoff before the message is dead-lettered;
+* publish + delivery add a service overhead on top of network latency —
+  this overhead is what makes SNS orchestration slower than AWS Step
+  Functions in Fig. 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cloud.ledger import MessagingRecord, MeteringLedger
+from repro.cloud.network import Network
+from repro.cloud.simulator import SimulationEnvironment
+from repro.common.errors import MessageDeliveryError
+
+#: Service-side processing time for accepting a publish, seconds.
+PUBLISH_OVERHEAD_S = 0.025
+#: Service-side time to hand a message to the subscriber, seconds.
+DELIVERY_OVERHEAD_S = 0.100
+#: Delivery retry policy.
+MAX_DELIVERY_ATTEMPTS = 3
+RETRY_BACKOFF_S = 0.5
+
+
+@dataclass
+class Message:
+    """A published message: opaque body plus metering metadata."""
+
+    body: Any
+    size_bytes: float
+    workflow: str = ""
+    request_id: str = ""
+
+
+@dataclass
+class _Topic:
+    name: str
+    region: str
+    subscriber: Optional[Callable[[Message], None]] = None
+    delivered: int = 0
+    dead_lettered: int = 0
+
+
+class PubSubService:
+    """All topics across all regions of the simulated provider."""
+
+    def __init__(
+        self,
+        env: SimulationEnvironment,
+        network: Network,
+        ledger: MeteringLedger,
+        publish_overhead_s: float = PUBLISH_OVERHEAD_S,
+        delivery_overhead_s: float = DELIVERY_OVERHEAD_S,
+    ):
+        self._env = env
+        self._network = network
+        self._ledger = ledger
+        self._publish_overhead = publish_overhead_s
+        self._delivery_overhead = delivery_overhead_s
+        self._topics: Dict[Tuple[str, str], _Topic] = {}
+        self._dead_letters: List[Tuple[str, Message, str]] = []
+
+    # -- topic management ---------------------------------------------------
+    def create_topic(self, name: str, region: str) -> None:
+        key = (name, region)
+        if key not in self._topics:
+            self._topics[key] = _Topic(name=name, region=region)
+
+    def delete_topic(self, name: str, region: str) -> None:
+        self._topics.pop((name, region), None)
+
+    def topic_exists(self, name: str, region: str) -> bool:
+        return (name, region) in self._topics
+
+    def subscribe(
+        self, name: str, region: str, handler: Callable[[Message], None]
+    ) -> None:
+        """Attach the (single) subscriber for a topic.
+
+        Caribou subscribes exactly one function per topic (§6.1 step 2),
+        so a single-subscriber model is sufficient.
+        """
+        topic = self._require_topic(name, region)
+        topic.subscriber = handler
+
+    def topic_stats(self, name: str, region: str) -> Tuple[int, int]:
+        """(delivered, dead_lettered) counts for a topic."""
+        topic = self._require_topic(name, region)
+        return topic.delivered, topic.dead_lettered
+
+    @property
+    def dead_letters(self) -> List[Tuple[str, Message, str]]:
+        """Messages that exhausted retries: (topic, message, error)."""
+        return list(self._dead_letters)
+
+    # -- publishing ----------------------------------------------------------
+    def publish(
+        self,
+        name: str,
+        region: str,
+        message: Message,
+        source_region: str,
+        edge_label: str = "",
+    ) -> float:
+        """Publish ``message`` to topic ``name`` in ``region``.
+
+        The message body crosses the network from ``source_region`` to the
+        topic's region, then is delivered to the subscriber after the
+        service overheads.  Returns the publish-accept latency (what the
+        *publisher* waits for); delivery happens asynchronously.
+
+        ``edge_label`` tags the underlying transfer record (callers use
+        the ``src->dst`` DAG edge key so the Metrics Manager can learn
+        per-edge payload sizes and routes).
+        """
+        topic = self._require_topic(name, region)
+        self._ledger.record_message(
+            MessagingRecord(
+                workflow=message.workflow,
+                topic=name,
+                region=region,
+                start_s=self._env.now(),
+                size_bytes=message.size_bytes,
+                request_id=message.request_id,
+            )
+        )
+        transfer = self._network.transfer(
+            source_region,
+            region,
+            message.size_bytes,
+            workflow=message.workflow,
+            request_id=message.request_id,
+            kind="data",
+            edge=edge_label or f"publish:{name}",
+        )
+        arrival_delay = self._publish_overhead + transfer.latency_s
+        self._env.schedule(
+            arrival_delay, lambda: self._attempt_delivery(topic, message, attempt=1)
+        )
+        return self._publish_overhead
+
+    def _attempt_delivery(self, topic: _Topic, message: Message, attempt: int) -> None:
+        def deliver() -> None:
+            if topic.subscriber is None:
+                self._fail(topic, message, "no subscriber", attempt)
+                return
+            try:
+                topic.subscriber(message)
+            except Exception as exc:  # subscriber did not ack -> retry
+                self._fail(topic, message, repr(exc), attempt)
+                return
+            topic.delivered += 1
+
+        self._env.schedule(self._delivery_overhead, deliver)
+
+    def _fail(self, topic: _Topic, message: Message, error: str, attempt: int) -> None:
+        if attempt >= MAX_DELIVERY_ATTEMPTS:
+            topic.dead_lettered += 1
+            self._dead_letters.append((topic.name, message, error))
+            return
+        backoff = RETRY_BACKOFF_S * (2 ** (attempt - 1))
+        self._env.schedule(
+            backoff, lambda: self._attempt_delivery(topic, message, attempt + 1)
+        )
+
+    def _require_topic(self, name: str, region: str) -> _Topic:
+        try:
+            return self._topics[(name, region)]
+        except KeyError:
+            raise MessageDeliveryError(
+                f"topic {name!r} does not exist in region {region!r}"
+            ) from None

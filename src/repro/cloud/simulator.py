@@ -1,0 +1,141 @@
+"""Discrete-event simulation core.
+
+A minimal but complete event loop over virtual time: components schedule
+callbacks at absolute or relative times; :meth:`SimulationEnvironment.run`
+pops them in timestamp order (FIFO among ties, for determinism) and
+advances the shared :class:`~repro.common.clock.VirtualClock` as it goes.
+
+The whole cloud is single-threaded — "parallelism" (fan-out stages,
+concurrent invocations) is expressed purely through event timestamps,
+which is exactly what the paper's end-to-end service-time accounting
+needs (§9.1: request received by the first function to the end of the
+last function).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.clock import VirtualClock
+from repro.common.rng import RngRegistry
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimulationEnvironment.schedule`.
+
+    Allows cancelling a pending event (used e.g. by pub/sub retry timers
+    once an ack arrives).
+    """
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def pending(self) -> bool:
+        return not self._event.cancelled
+
+
+class SimulationEnvironment:
+    """Shared event loop, clock, and RNG registry for one simulated cloud."""
+
+    def __init__(self, seed: int = 0, clock: Optional[VirtualClock] = None):
+        self.clock = clock if clock is not None else VirtualClock()
+        self.rng = RngRegistry(seed)
+        self._queue: List[_Event] = []
+        self._seq = itertools.count()
+        self._executed = 0
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now()
+
+    @property
+    def events_executed(self) -> int:
+        """Total events processed so far (useful for overhead accounting)."""
+        return self._executed
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self.now() + delay, action)
+
+    def schedule_at(self, timestamp: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` at an absolute virtual ``timestamp``."""
+        if timestamp < self.now():
+            raise ValueError(
+                f"cannot schedule in the past: now={self.now()}, target={timestamp}"
+            )
+        event = _Event(time=timestamp, seq=next(self._seq), action=action)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or None if idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self._executed += 1
+            event.action()
+            return True
+        return False
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        Args:
+            until: Absolute virtual time to stop at.  Events scheduled at
+                or before ``until`` still run; the clock is left at
+                ``until`` when the horizon is the binding constraint.
+            max_events: Safety valve for runaway simulations.
+
+        Returns:
+            The number of events executed by this call.
+        """
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            self.step()
+            executed += 1
+        if until is not None and self.now() < until:
+            self.clock.advance_to(until)
+        return executed
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        return self.run(max_events=max_events)

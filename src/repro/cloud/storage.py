@@ -1,0 +1,119 @@
+"""Object storage (S3 substitute).
+
+Benchmarks "access external storage and services at or close to their
+home region" (§9.1, fairness rule 1): input files and result artefacts
+live in region-pinned buckets that are *not* migrated when functions
+move, so a shifted function pays the cross-region read — exactly the
+data-locality tension §1 describes.
+
+Objects carry a logical ``size_bytes`` plus optional small real content;
+the simulator never hauls real megabytes around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.cloud.network import Network
+from repro.cloud.simulator import SimulationEnvironment
+from repro.common.errors import CaribouError
+
+
+class ObjectNotFound(CaribouError):
+    """The requested bucket/key does not exist."""
+
+
+@dataclass
+class StoredObject:
+    """One object: logical size plus optional payload for app logic."""
+
+    size_bytes: float
+    content: Any = None
+
+
+class ObjectStore:
+    """Region-pinned buckets of sized objects."""
+
+    def __init__(self, env: SimulationEnvironment, network: Network):
+        self._env = env
+        self._network = network
+        # bucket -> (region, {key: StoredObject})
+        self._buckets: Dict[str, Tuple[str, Dict[str, StoredObject]]] = {}
+
+    def create_bucket(self, bucket: str, region: str) -> None:
+        if bucket in self._buckets:
+            existing_region = self._buckets[bucket][0]
+            if existing_region != region:
+                raise CaribouError(
+                    f"bucket {bucket!r} already exists in {existing_region}"
+                )
+            return
+        self._buckets[bucket] = (region, {})
+
+    def bucket_region(self, bucket: str) -> str:
+        try:
+            return self._buckets[bucket][0]
+        except KeyError:
+            raise ObjectNotFound(f"bucket {bucket!r} does not exist") from None
+
+    def put_object(
+        self,
+        bucket: str,
+        key: str,
+        size_bytes: float,
+        content: Any = None,
+        caller_region: Optional[str] = None,
+        workflow: str = "",
+        request_id: str = "",
+    ) -> float:
+        """Upload an object.  Returns the transfer latency incurred."""
+        region, objects = self._get_bucket(bucket)
+        objects[key] = StoredObject(size_bytes=size_bytes, content=content)
+        caller = caller_region or region
+        result = self._network.transfer(
+            caller, region, size_bytes, workflow=workflow, request_id=request_id,
+            kind="data", edge=f"put:{bucket}/{key}",
+        )
+        return result.latency_s
+
+    def get_object(
+        self,
+        bucket: str,
+        key: str,
+        caller_region: Optional[str] = None,
+        workflow: str = "",
+        request_id: str = "",
+    ) -> Tuple[StoredObject, float]:
+        """Download an object.  Returns ``(object, transfer latency)``.
+
+        The transfer is billed from the bucket's region (the sender pays
+        egress), matching AWS billing.
+        """
+        region, objects = self._get_bucket(bucket)
+        if key not in objects:
+            raise ObjectNotFound(f"{bucket}/{key} does not exist")
+        obj = objects[key]
+        caller = caller_region or region
+        result = self._network.transfer(
+            region, caller, obj.size_bytes, workflow=workflow,
+            request_id=request_id, kind="data", edge=f"get:{bucket}/{key}",
+        )
+        return obj, result.latency_s
+
+    def head_object(self, bucket: str, key: str) -> StoredObject:
+        """Metadata-only lookup (no transfer charged)."""
+        _, objects = self._get_bucket(bucket)
+        if key not in objects:
+            raise ObjectNotFound(f"{bucket}/{key} does not exist")
+        return objects[key]
+
+    def list_objects(self, bucket: str) -> Tuple[str, ...]:
+        _, objects = self._get_bucket(bucket)
+        return tuple(objects)
+
+    def _get_bucket(self, bucket: str) -> Tuple[str, Dict[str, StoredObject]]:
+        try:
+            return self._buckets[bucket]
+        except KeyError:
+            raise ObjectNotFound(f"bucket {bucket!r} does not exist") from None

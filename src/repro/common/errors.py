@@ -1,0 +1,52 @@
+"""Exception hierarchy for the framework.
+
+Every error raised by the reproduction derives from :class:`CaribouError`
+so that callers can catch framework failures without swallowing Python
+built-ins.
+"""
+
+from __future__ import annotations
+
+
+class CaribouError(Exception):
+    """Base class for all framework errors."""
+
+
+class WorkflowDefinitionError(CaribouError):
+    """The developer-declared workflow is malformed.
+
+    Raised when static analysis finds a cycle, multiple start nodes, an
+    edge to an unregistered function, or a sync node misuse.
+    """
+
+
+class ConfigurationError(CaribouError):
+    """The deployment manifest (config/IAM policy) is invalid."""
+
+
+class DeploymentError(CaribouError):
+    """A deployment or migration step failed."""
+
+
+class RegionUnavailableError(DeploymentError):
+    """The target region refused the deployment (capacity, outage)."""
+
+
+class SolverError(CaribouError):
+    """The deployment solver could not produce any feasible plan."""
+
+
+class ToleranceViolatedError(SolverError):
+    """Every candidate plan violated the developer's QoS tolerances."""
+
+
+class KeyValueStoreError(CaribouError):
+    """A distributed key-value store operation failed."""
+
+
+class ConditionalCheckFailed(KeyValueStoreError):
+    """A compare-and-set update found an unexpected current value."""
+
+
+class MessageDeliveryError(CaribouError):
+    """Pub/sub delivery exhausted its retries."""

@@ -1,0 +1,47 @@
+"""Unit constants and conversion helpers.
+
+All sizes inside the simulator are plain ``int``/``float`` bytes; all
+energies are kWh; all carbon quantities are grams of CO2-equivalent
+(gCO2eq); all money is USD.  These helpers exist so that call sites read
+naturally (``mb(2.4)`` instead of ``2.4 * 1024 * 1024``).
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def kb(n: float) -> float:
+    """``n`` kibibytes in bytes."""
+    return n * KB
+
+
+def mb(n: float) -> float:
+    """``n`` mebibytes in bytes."""
+    return n * MB
+
+
+def gb(n: float) -> float:
+    """``n`` gibibytes in bytes."""
+    return n * GB
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert bytes to GB (the unit the carbon/cost models use)."""
+    return n_bytes / GB
+
+
+def ms(n: float) -> float:
+    """``n`` milliseconds in seconds."""
+    return n / 1000.0
+
+
+def hours(n: float) -> float:
+    """``n`` hours in seconds."""
+    return n * 3600.0
+
+
+def watts_to_kw(n_watts: float) -> float:
+    return n_watts / 1000.0

@@ -1,0 +1,251 @@
+"""Static code analysis: source code -> workflow DAG (paper §6.1 step 1).
+
+"The structure of a workflow is implicitly defined by a developer using
+our API and a workflow is then extracted from the source code through
+static code analysis at initial deployment" (§4).  The analyser parses
+each registered handler's source with :mod:`ast` and recovers:
+
+* DAG edges — every ``invoke_serverless_function(data, target, [cond])``
+  call site, with the edge marked *conditional* when the third argument
+  is present and not literally ``True``;
+* fan-out — a call site inside a loop expands the target function into
+  its declared ``max_instances`` stages (each execution stage is a
+  separate DAG node, §4);
+* synchronisation nodes — handlers calling ``get_predecessor_data``.
+
+The resulting :class:`~repro.model.dag.WorkflowDAG` is validated against
+the §4 structural rules (single start node, acyclic, sync nodes declare
+fan-in intent).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import WorkflowDefinitionError
+from repro.core.api import FunctionSpec, Workflow
+from repro.model.dag import Edge, Node, WorkflowDAG
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One discovered ``invoke_serverless_function`` call."""
+
+    target: str
+    conditional: bool
+    in_loop: bool
+
+
+@dataclass(frozen=True)
+class FunctionAnalysis:
+    """Static facts about one handler."""
+
+    name: str
+    call_sites: Tuple[CallSite, ...]
+    uses_predecessor_data: bool
+
+
+class _HandlerVisitor(ast.NodeVisitor):
+    """Walks a handler body collecting API call sites."""
+
+    def __init__(self, known_functions: Dict[str, str]):
+        # maps both spec names and handler __name__s to spec names
+        self._known = known_functions
+        self.call_sites: List[CallSite] = []
+        self.uses_predecessor_data = False
+        self._loop_depth = 0
+
+    # loops ------------------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:  # pragma: no cover
+        self.visit_For(node)  # type: ignore[arg-type]
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    # calls ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self._called_name(node)
+        if name == "invoke_serverless_function":
+            self._handle_invoke(node)
+        elif name == "get_predecessor_data":
+            self.uses_predecessor_data = True
+        self.generic_visit(node)
+
+    @staticmethod
+    def _called_name(node: ast.Call) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return None
+
+    def _handle_invoke(self, node: ast.Call) -> None:
+        target = self._resolve_target(node)
+        conditional = self._is_conditional(node)
+        self.call_sites.append(
+            CallSite(
+                target=target,
+                conditional=conditional,
+                in_loop=self._loop_depth > 0,
+            )
+        )
+
+    def _resolve_target(self, node: ast.Call) -> str:
+        target_expr: Optional[ast.expr] = None
+        if len(node.args) >= 2:
+            target_expr = node.args[1]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "next_function":
+                    target_expr = kw.value
+        if target_expr is None:
+            raise WorkflowDefinitionError(
+                "invoke_serverless_function call without a target function"
+            )
+        if isinstance(target_expr, ast.Constant) and isinstance(
+            target_expr.value, str
+        ):
+            candidate = target_expr.value
+        elif isinstance(target_expr, ast.Name):
+            candidate = target_expr.id
+        elif isinstance(target_expr, ast.Attribute):
+            candidate = target_expr.attr
+        else:
+            raise WorkflowDefinitionError(
+                "invoke_serverless_function target must be a name or string "
+                f"literal, got {ast.dump(target_expr)}"
+            )
+        if candidate not in self._known:
+            raise WorkflowDefinitionError(
+                f"invoke_serverless_function targets unknown function "
+                f"{candidate!r}"
+            )
+        return self._known[candidate]
+
+    @staticmethod
+    def _is_conditional(node: ast.Call) -> bool:
+        cond_expr: Optional[ast.expr] = None
+        if len(node.args) >= 3:
+            cond_expr = node.args[2]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "conditional":
+                    cond_expr = kw.value
+        if cond_expr is None:
+            return False  # edge always taken
+        if isinstance(cond_expr, ast.Constant) and cond_expr.value is True:
+            return False  # literally always true
+        return True  # dynamically evaluated at runtime
+
+
+def analyze_function(spec: FunctionSpec, known: Dict[str, str]) -> FunctionAnalysis:
+    """Run static analysis over one handler's source."""
+    try:
+        source = textwrap.dedent(inspect.getsource(spec.handler))
+    except (OSError, TypeError) as exc:
+        raise WorkflowDefinitionError(
+            f"cannot retrieve source of handler {spec.name!r} for static "
+            f"analysis: {exc}"
+        ) from exc
+    tree = ast.parse(source)
+    visitor = _HandlerVisitor(known)
+    visitor.visit(tree)
+    return FunctionAnalysis(
+        name=spec.name,
+        call_sites=tuple(visitor.call_sites),
+        uses_predecessor_data=visitor.uses_predecessor_data,
+    )
+
+
+def stage_names(spec: FunctionSpec) -> Tuple[str, ...]:
+    """DAG node names for one function: one per declared instance."""
+    if spec.max_instances == 1:
+        return (spec.name,)
+    return tuple(f"{spec.name}:{i}" for i in range(spec.max_instances))
+
+
+def analyze_workflow(workflow: Workflow) -> WorkflowDAG:
+    """Extract and validate the full workflow DAG.
+
+    Raises :class:`WorkflowDefinitionError` on structural violations:
+    no/multiple entry points, cycles, fan-in without
+    ``get_predecessor_data``, or fan-out into a multi-instance entry
+    point.
+    """
+    specs = workflow.functions
+    if not specs:
+        raise WorkflowDefinitionError(
+            f"workflow {workflow.name!r} has no registered functions"
+        )
+    known: Dict[str, str] = {}
+    for spec in specs:
+        known[spec.name] = spec.name
+        known[spec.handler.__name__] = spec.name
+
+    analyses = {spec.name: analyze_function(spec, known) for spec in specs}
+    entry = workflow.entry_function
+    if entry.max_instances != 1:
+        raise WorkflowDefinitionError(
+            f"entry point {entry.name!r} cannot declare max_instances > 1"
+        )
+
+    dag = WorkflowDAG(workflow.name)
+    for spec in specs:
+        for stage in stage_names(spec):
+            dag.add_node(
+                Node(name=stage, function=spec.name, memory_mb=spec.memory_mb)
+            )
+
+    for spec in specs:
+        analysis = analyses[spec.name]
+        src_stages = stage_names(spec)
+        seen_targets: Dict[Tuple[str, bool], None] = {}
+        for site in analysis.call_sites:
+            target_spec = workflow.function(site.target)
+            if not site.in_loop and target_spec.max_instances > 1:
+                # A single (non-loop) call still targets stage 0 only;
+                # further stages are reached by additional call sites or
+                # loop iterations at runtime.
+                dst_stages: Sequence[str] = stage_names(target_spec)
+            else:
+                dst_stages = stage_names(target_spec)
+            key = (site.target, site.conditional)
+            if key in seen_targets:
+                continue  # several call sites to the same target == one edge set
+            seen_targets[key] = None
+            for src in src_stages:
+                for dst in dst_stages:
+                    if not dag.has_edge(src, dst):
+                        dag.add_edge(
+                            Edge(src=src, dst=dst, conditional=site.conditional)
+                        )
+
+    dag.validate()
+
+    # Sync nodes must have declared fan-in intent (§8).
+    for node_name in dag.sync_nodes:
+        function = dag.node(node_name).function
+        if not analyses[function].uses_predecessor_data:
+            raise WorkflowDefinitionError(
+                f"node {node_name!r} has multiple incoming edges but its "
+                f"handler never calls get_predecessor_data()"
+            )
+
+    if dag.start_node != stage_names(entry)[0]:
+        raise WorkflowDefinitionError(
+            f"workflow start node {dag.start_node!r} does not match the "
+            f"declared entry point {entry.name!r}"
+        )
+    return dag

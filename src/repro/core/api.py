@@ -1,0 +1,273 @@
+"""The developer API of the ``caribou`` package (paper §8, Listing 1).
+
+A workflow is declared by instantiating :class:`Workflow` and decorating
+handlers with :meth:`Workflow.serverless_function`.  Inside a handler,
+:meth:`Workflow.invoke_serverless_function` corresponds to a DAG edge and
+:meth:`Workflow.get_predecessor_data` marks (and serves) a
+synchronisation node.  No deployment or region logic appears in user
+code — the whole point of the framework (§6.2: "No new DP should
+necessitate changing the source code").
+
+At runtime the same object doubles as the interception point: the
+function wrapper pushes an execution context before calling the user
+handler, and the API methods record invocation intents against it for
+the wrapper to route after the stage completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cloud.functions import WorkProfile
+from repro.common.errors import WorkflowDefinitionError
+from repro.model.config import FunctionConstraints
+
+
+@dataclass
+class Payload:
+    """Intermediate data passed between stages.
+
+    The simulator never copies real megabytes: ``content`` is a small
+    Python value for application logic and ``size_bytes`` is the logical
+    size driving latency/cost/carbon.
+    """
+
+    content: Any = None
+    size_bytes: float = 1024.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be non-negative, got {self.size_bytes}")
+
+
+@dataclass(frozen=True)
+class ExternalDataSpec:
+    """A fixed external data dependency of a function (§9.1 rule 1)."""
+
+    region: str
+    size_bytes: float
+
+
+@dataclass
+class FunctionSpec:
+    """Everything the framework records about one registered function."""
+
+    name: str
+    handler: Callable[[Any], Any]
+    constraints: Optional[FunctionConstraints] = None
+    memory_mb: int = 1769
+    profile: WorkProfile = field(default_factory=lambda: WorkProfile(base_seconds=0.5))
+    entry_point: bool = False
+    max_instances: int = 1
+    external_data: Optional[ExternalDataSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.memory_mb <= 0:
+            raise WorkflowDefinitionError(
+                f"function {self.name!r}: memory_mb must be positive"
+            )
+        if self.max_instances < 1:
+            raise WorkflowDefinitionError(
+                f"function {self.name!r}: max_instances must be >= 1"
+            )
+
+
+@dataclass
+class InvocationIntent:
+    """One ``invoke_serverless_function`` call captured at runtime."""
+
+    target_function: str
+    payload: Payload
+    conditional_value: bool
+    call_index: int  # per-target ordinal, maps fan-out calls to stages
+
+
+@dataclass
+class ExecutionContext:
+    """Per-stage runtime context the wrapper pushes around user code."""
+
+    node: str
+    request_id: str
+    predecessor_data: List[Payload] = field(default_factory=list)
+    intents: List[InvocationIntent] = field(default_factory=list)
+    used_get_predecessor_data: bool = False
+    _per_target_counts: Dict[str, int] = field(default_factory=dict)
+
+    def record_intent(
+        self, target_function: str, payload: Payload, conditional_value: bool
+    ) -> None:
+        idx = self._per_target_counts.get(target_function, 0)
+        self._per_target_counts[target_function] = idx + 1
+        self.intents.append(
+            InvocationIntent(
+                target_function=target_function,
+                payload=payload,
+                conditional_value=conditional_value,
+                call_index=idx,
+            )
+        )
+
+
+def _resolve_function_name(function: Any) -> str:
+    """Accept a registered handler, a FunctionSpec, or a plain name."""
+    if isinstance(function, str):
+        return function
+    spec = getattr(function, "_caribou_spec", None)
+    if spec is not None:
+        return spec.name
+    if isinstance(function, FunctionSpec):
+        return function.name
+    raise WorkflowDefinitionError(
+        f"cannot resolve {function!r} to a registered serverless function"
+    )
+
+
+class Workflow:
+    """Developer-facing workflow declaration object (Listing 1)."""
+
+    def __init__(self, name: str, version: str = "0.1"):
+        if not name:
+            raise WorkflowDefinitionError("workflow name must be non-empty")
+        self.name = name
+        self.version = version
+        self._functions: Dict[str, FunctionSpec] = {}
+        self._ctx_stack: List[ExecutionContext] = []
+
+    # -- declaration ---------------------------------------------------------
+    def serverless_function(
+        self,
+        name: Optional[str] = None,
+        regions_and_providers: Optional[Mapping[str, Sequence[Mapping[str, str]]]] = None,
+        memory_mb: int = 1769,
+        profile: Optional[WorkProfile] = None,
+        entry_point: bool = False,
+        max_instances: int = 1,
+        external_data: Optional[ExternalDataSpec] = None,
+    ) -> Callable[[Callable[[Any], Any]], Callable[[Any], Any]]:
+        """Register a function handler (Listing 1, lines 3-6).
+
+        Args:
+            name: Stage name; defaults to the handler's ``__name__``.
+            regions_and_providers: Paper-style constraint dict with
+                ``allowed_regions`` / ``disallowed_regions`` lists of
+                ``{"region": ...}`` entries (function-level compliance).
+            memory_mb: Configured Lambda memory size.
+            profile: Resource/work profile used by the simulated runtime.
+            entry_point: Marks the workflow's start function.
+            max_instances: Upper bound on parallel stages this function
+                fans out to (each stage is a separate DAG node, §4).
+            external_data: Fixed external data the function reads.
+        """
+
+        def decorator(fn: Callable[[Any], Any]) -> Callable[[Any], Any]:
+            spec_name = name or fn.__name__
+            if spec_name in self._functions:
+                raise WorkflowDefinitionError(
+                    f"duplicate serverless function {spec_name!r}"
+                )
+            spec = FunctionSpec(
+                name=spec_name,
+                handler=fn,
+                constraints=self._parse_constraints(regions_and_providers),
+                memory_mb=memory_mb,
+                profile=profile or WorkProfile(base_seconds=0.5),
+                entry_point=entry_point,
+                max_instances=max_instances,
+                external_data=external_data,
+            )
+            self._functions[spec_name] = spec
+            fn._caribou_spec = spec  # type: ignore[attr-defined]
+            return fn
+
+        return decorator
+
+    @staticmethod
+    def _parse_constraints(
+        raw: Optional[Mapping[str, Sequence[Mapping[str, str]]]]
+    ) -> Optional[FunctionConstraints]:
+        if raw is None:
+            return None
+        allowed = raw.get("allowed_regions")
+        disallowed = raw.get("disallowed_regions", ())
+        return FunctionConstraints(
+            allowed_regions=(
+                frozenset(entry["region"] for entry in allowed)
+                if allowed is not None
+                else None
+            ),
+            disallowed_regions=frozenset(entry["region"] for entry in disallowed),
+        )
+
+    # -- runtime API (Listing 1, lines 8-11) ----------------------------------
+    def invoke_serverless_function(
+        self,
+        intermediate_data: "Payload | Any",
+        next_function: Any,
+        conditional: bool = True,
+    ) -> None:
+        """Declare/perform a DAG edge to ``next_function``.
+
+        ``conditional`` is "dynamically evaluated when the function is
+        executed" (§8): passing ``False`` marks the edge as not taken for
+        this invocation, triggering the conditional-DAG skip rules (§4).
+        """
+        ctx = self._current_context("invoke_serverless_function")
+        target = _resolve_function_name(next_function)
+        if target not in self._functions:
+            raise WorkflowDefinitionError(
+                f"invoke_serverless_function targets unregistered function "
+                f"{target!r}"
+            )
+        payload = (
+            intermediate_data
+            if isinstance(intermediate_data, Payload)
+            else Payload(content=intermediate_data)
+        )
+        ctx.record_intent(target, payload, bool(conditional))
+
+    def get_predecessor_data(self) -> List[Payload]:
+        """Retrieve fan-in data; marks the caller as a sync node (§8)."""
+        ctx = self._current_context("get_predecessor_data")
+        ctx.used_get_predecessor_data = True
+        return list(ctx.predecessor_data)
+
+    # -- introspection (used by analysis / deployer / executor) ----------------
+    @property
+    def functions(self) -> Tuple[FunctionSpec, ...]:
+        return tuple(self._functions.values())
+
+    def function(self, name: str) -> FunctionSpec:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(
+                f"workflow {self.name!r} has no function {name!r}"
+            ) from None
+
+    @property
+    def entry_function(self) -> FunctionSpec:
+        entries = [f for f in self._functions.values() if f.entry_point]
+        if len(entries) != 1:
+            raise WorkflowDefinitionError(
+                f"workflow {self.name!r} must have exactly one entry_point "
+                f"function, found {[f.name for f in entries]}"
+            )
+        return entries[0]
+
+    # -- context management (called by the executor wrapper) -------------------
+    def push_context(self, ctx: ExecutionContext) -> None:
+        self._ctx_stack.append(ctx)
+
+    def pop_context(self) -> ExecutionContext:
+        if not self._ctx_stack:
+            raise RuntimeError("no active execution context to pop")
+        return self._ctx_stack.pop()
+
+    def _current_context(self, api_name: str) -> ExecutionContext:
+        if not self._ctx_stack:
+            raise RuntimeError(
+                f"{api_name} called outside a workflow execution; this API "
+                "is only valid inside a running serverless function"
+            )
+        return self._ctx_stack[-1]

@@ -1,0 +1,127 @@
+"""Fleet management: the DM loop over *all* deployed workflows.
+
+Fig. 6's Deployment Manager "regularly iterates over all deployed
+workflows", each with its own token bucket, metrics, and check cadence.
+:class:`FleetManager` is that outer loop: it registers per-workflow
+:class:`~repro.core.manager.DeploymentManager` instances and runs one
+self-rescheduling check chain per workflow, so a busy workflow is
+checked hourly while an idle one backs off to the daily cadence —
+independently, exactly as the sigmoid rule dictates per bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cloud.provider import SimulatedCloud
+from repro.core.deployer import DeploymentUtility
+from repro.core.executor import CaribouExecutor, DeployedWorkflow
+from repro.core.manager import CheckReport, DeploymentManager
+from repro.core.solver import SolverSettings
+from repro.core.trigger import TriggerSettings
+from repro.metrics.carbon import TransmissionScenario
+
+
+@dataclass
+class FleetEntry:
+    """One managed workflow and its control loop."""
+
+    deployed: DeployedWorkflow
+    executor: CaribouExecutor
+    manager: DeploymentManager
+
+
+class FleetManager:
+    """Runs the Fig. 6 loop for every registered workflow."""
+
+    def __init__(
+        self,
+        cloud: SimulatedCloud,
+        utility: DeploymentUtility,
+        scenario: TransmissionScenario,
+        solver_settings: SolverSettings = SolverSettings(),
+        trigger_settings: TriggerSettings = TriggerSettings(),
+        use_forecast: bool = True,
+    ):
+        self._cloud = cloud
+        self._utility = utility
+        self._scenario = scenario
+        self._solver_settings = solver_settings
+        self._trigger_settings = trigger_settings
+        self._use_forecast = use_forecast
+        self._entries: Dict[str, FleetEntry] = {}
+
+    # -- registry ---------------------------------------------------------------
+    def register(
+        self, deployed: DeployedWorkflow, executor: CaribouExecutor
+    ) -> DeploymentManager:
+        """Bring a deployed workflow under fleet management."""
+        if deployed.name in self._entries:
+            raise ValueError(f"workflow {deployed.name!r} is already managed")
+        manager = DeploymentManager(
+            deployed,
+            executor,
+            self._utility,
+            scenario=self._scenario,
+            solver_settings=self._solver_settings,
+            trigger_settings=self._trigger_settings,
+            use_forecast=self._use_forecast,
+        )
+        self._entries[deployed.name] = FleetEntry(
+            deployed=deployed, executor=executor, manager=manager
+        )
+        return manager
+
+    def unregister(self, workflow_name: str) -> None:
+        self._entries.pop(workflow_name, None)
+
+    @property
+    def workflows(self) -> Tuple[str, ...]:
+        return tuple(self._entries)
+
+    def manager_for(self, workflow_name: str) -> DeploymentManager:
+        try:
+            return self._entries[workflow_name].manager
+        except KeyError:
+            raise KeyError(
+                f"workflow {workflow_name!r} is not fleet-managed"
+            ) from None
+
+    # -- operation ----------------------------------------------------------------
+    def check_all(self) -> Dict[str, CheckReport]:
+        """One immediate check pass over every workflow (Fig. 6's
+        "iterates over all deployed workflows")."""
+        return {
+            name: entry.manager.check() for name, entry in self._entries.items()
+        }
+
+    def run_for(
+        self, duration_s: float, stagger_s: float = 60.0
+    ) -> None:
+        """Schedule each workflow's self-rescheduling check chain.
+
+        ``stagger_s`` offsets the first checks so simultaneous solves do
+        not pile up at t=0 — the same reason the real framework spreads
+        workflow processing across its periodic sweep.
+        """
+        for index, entry in enumerate(self._entries.values()):
+            entry.manager.run_for(
+                duration_s, first_check_delay_s=index * stagger_s
+            )
+
+    # -- reporting ------------------------------------------------------------------
+    def summary(self) -> List[Tuple[str, int, int, float]]:
+        """(workflow, checks, solves, tokens) per managed workflow."""
+        out = []
+        for name, entry in self._entries.items():
+            manager = entry.manager
+            out.append(
+                (
+                    name,
+                    len(manager.reports),
+                    len(manager.plan_history),
+                    manager.bucket.tokens_g,
+                )
+            )
+        return out

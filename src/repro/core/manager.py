@@ -1,0 +1,295 @@
+"""The Deployment Manager (DM) — the self-adaptive control loop of
+Fig. 6 (paper §5.2).
+
+On every *token check* the DM: collects workflow metrics, refreshes the
+daily carbon forecast, earns tokens from the past period's invocations
+(and realised savings), expires stale plans, and — when the bucket
+covers the solve cost — generates a new plan set at the affordable
+granularity (24 hourly plans, degrading to a single daily plan on a
+tight budget), migrates it, and finally schedules the next check via the
+sigmoid-smoothed cadence rule.
+
+A *fixed-frequency* mode disables the token bucket (used by the §9.7
+sensitivity study, Fig. 13) and solves unconditionally at every check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.executor import CaribouExecutor, DeployedWorkflow
+from repro.core.deployer import DeploymentUtility
+from repro.core.migrator import DeploymentMigrator, MigrationReport
+from repro.core.solver import HBSSSolver, PlanEvaluator, SolverSettings
+from repro.core.trigger import TokenBucket, TriggerSettings
+from repro.common.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.metrics.accounting import CarbonAccountant
+from repro.metrics.carbon import CarbonModel, TransmissionScenario
+from repro.metrics.cost import CostModel
+from repro.metrics.latency import TransferLatencyModel
+from repro.metrics.manager import MetricsManager
+from repro.model.plan import HourlyPlanSet
+
+#: How long a generated plan set stays valid before traffic falls back
+#: to the home region (§5.2 "DPs expire to account for the dynamic
+#: factors influencing optimality").
+DEFAULT_PLAN_LIFETIME_S = 3 * SECONDS_PER_DAY
+
+
+@dataclass
+class CheckReport:
+    """What one DM token check did (Fig. 6's decision trace)."""
+
+    time_s: float
+    new_records: int
+    invocations_in_period: int
+    tokens_g: float
+    solve_cost_g: float
+    solved: bool
+    granularity: Optional[int]
+    migration: Optional[MigrationReport]
+    next_check_delay_s: float
+
+
+class DeploymentManager:
+    """Drives metric collection, solving, and migration for one workflow."""
+
+    def __init__(
+        self,
+        deployed: DeployedWorkflow,
+        executor: CaribouExecutor,
+        utility: DeploymentUtility,
+        scenario: TransmissionScenario,
+        solver_settings: SolverSettings = SolverSettings(),
+        trigger_settings: TriggerSettings = TriggerSettings(),
+        plan_lifetime_s: float = DEFAULT_PLAN_LIFETIME_S,
+        use_token_bucket: bool = True,
+        use_forecast: bool = True,
+    ):
+        self._d = deployed
+        self._executor = executor
+        self._cloud = deployed.cloud
+        self._scenario = scenario
+        self._solver_settings = solver_settings
+        self._plan_lifetime = plan_lifetime_s
+        self._use_token_bucket = use_token_bucket
+        self._use_forecast = use_forecast
+
+        self.metrics = MetricsManager(
+            deployed.dag,
+            deployed.config,
+            self._cloud.ledger,
+            self._cloud.carbon_source,
+        )
+        for spec in deployed.workflow.functions:
+            if spec.external_data is not None:
+                for node in deployed.dag.node_names:
+                    if deployed.dag.node(node).function == spec.name:
+                        self.metrics.declare_external_data(
+                            node, spec.external_data.region, spec.external_data.size_bytes
+                        )
+
+        self.bucket = TokenBucket(
+            n_nodes=len(deployed.dag),
+            n_regions=len(self._cloud.regions),
+            settings=trigger_settings,
+        )
+        self.migrator = DeploymentMigrator(utility, deployed, executor)
+        self._carbon_model = CarbonModel(scenario)
+        self._cost_model = CostModel(self._cloud.pricing_source)
+        self._latency_model = TransferLatencyModel(self._cloud.latency_source)
+        self._accountant = CarbonAccountant(
+            self._cloud.carbon_source, self._carbon_model, self._cost_model
+        )
+        self._rng = self._cloud.env.rng.get(f"solver:{deployed.name}")
+        self._last_check_s: Optional[float] = None
+        self._last_forecast_day: int = -1
+        self.reports: List[CheckReport] = []
+        self.plan_history: List[Tuple[float, HourlyPlanSet]] = []
+
+    # -- components on demand -----------------------------------------------------
+    def make_evaluator(self) -> PlanEvaluator:
+        """A fresh evaluator over the *current* learned metrics."""
+        return PlanEvaluator(
+            dag=self._d.dag,
+            config=self._d.config,
+            data=self.metrics,
+            regions=self._cloud.regions,
+            intensity_fn=lambda region, hour: self.metrics.carbon_for_hour(
+                region, hour, use_forecast=self._use_forecast
+            ),
+            carbon_model=self._carbon_model,
+            cost_model=self._cost_model,
+            latency_model=self._latency_model,
+            rng=self._rng,
+            kv_region=self._d.kv_region,
+            settings=self._solver_settings,
+        )
+
+    # -- the Fig. 6 loop ----------------------------------------------------------
+    def check(self) -> CheckReport:
+        """Run one token check cycle (Fig. 6)."""
+        now = self._cloud.now()
+        new_records = self.metrics.collect(now)
+        self._maybe_refit_forecasts(now)
+        framework_intensity = self._cloud.carbon_source.intensity_at(
+            self._d.kv_region, now
+        )
+
+        # Expire a stale plan: traffic reverts to the home region (§5.2).
+        active, _ = self._d.kv().get(
+            self._d.meta_table, "active_plan", caller_region=self._d.kv_region,
+            workflow=self._d.name,
+        )
+        if active is not None and HourlyPlanSet.from_dict(active).is_expired(now):
+            self._executor.clear_plan()
+
+        # Earn tokens from the past period (sliding window).
+        period_start = self._last_check_s if self._last_check_s is not None else 0.0
+        period = max(1.0, now - period_start)
+        invocations = self.metrics.invocations_since(period_start)
+        avg_runtime = self.metrics.average_runtime_s(period_start)
+        avg_memory = float(
+            np.mean([n.memory_mb for n in self._d.dag.nodes])
+        )
+        home_i = self._cloud.carbon_source.intensity_at(
+            self._d.config.home_region, now
+        )
+        best_i = min(
+            self._cloud.carbon_source.intensity_at(r, now)
+            for r in self._cloud.regions
+        )
+        realized = self._realized_savings(period_start, now)
+        self.bucket.earn(
+            invocations=invocations,
+            avg_runtime_s=avg_runtime,
+            avg_memory_mb=avg_memory,
+            home_intensity=home_i,
+            best_intensity=best_i,
+            period_s=period,
+            realized_saving_g=realized,
+        )
+
+        # Decide whether (and at what granularity) to solve.
+        solved = False
+        granularity: Optional[int] = None
+        migration: Optional[MigrationReport] = None
+        can_model = invocations > 0 or self.metrics.invocation_count > 0
+        if can_model:
+            if self._use_token_bucket:
+                granularity = self.bucket.affordable_granularity(framework_intensity)
+                if granularity is not None:
+                    self.bucket.consume(framework_intensity, granularity)
+                    migration = self._solve_and_migrate(granularity, now)
+                    solved = True
+            else:
+                granularity = 24
+                migration = self._solve_and_migrate(granularity, now)
+                solved = True
+        if not solved:
+            # Keep retrying any parked rollout (§6.1).
+            migration = self.migrator.retry_pending()
+
+        delay = self.bucket.next_check_delay_s(framework_intensity)
+        report = CheckReport(
+            time_s=now,
+            new_records=new_records,
+            invocations_in_period=invocations,
+            tokens_g=self.bucket.tokens_g,
+            solve_cost_g=self.bucket.solve_cost_g(framework_intensity, 24),
+            solved=solved,
+            granularity=granularity,
+            migration=migration,
+            next_check_delay_s=delay,
+        )
+        self.reports.append(report)
+        self._last_check_s = now
+        return report
+
+    def solve_now(self, granularity_hours: int = 24) -> MigrationReport:
+        """Force one solve+migrate regardless of tokens (Fig. 13 mode)."""
+        now = self._cloud.now()
+        self.metrics.collect(now)
+        self._maybe_refit_forecasts(now)
+        return self._solve_and_migrate(granularity_hours, now)
+
+    def run_for(self, duration_s: float, first_check_delay_s: float = 0.0) -> None:
+        """Schedule self-rescheduling checks over ``duration_s`` of
+        virtual time.  The caller advances the simulation."""
+        horizon = self._cloud.now() + duration_s
+
+        def do_check() -> None:
+            report = self.check()
+            next_time = self._cloud.now() + report.next_check_delay_s
+            if next_time < horizon:
+                self._cloud.env.schedule_at(next_time, do_check)
+
+        self._cloud.env.schedule(first_check_delay_s, do_check)
+
+    # -- internals ---------------------------------------------------------------
+    def _solve_and_migrate(
+        self, granularity_hours: int, now: float
+    ) -> MigrationReport:
+        evaluator = self.make_evaluator()
+        solver = HBSSSolver(evaluator, self._rng)
+        if granularity_hours >= 24:
+            hours: Sequence[int] = range(24)
+        else:
+            current_hour = int(now // SECONDS_PER_HOUR) % 24
+            step = 24 // granularity_hours
+            hours = [(current_hour + i * step) % 24 for i in range(granularity_hours)]
+        plan_set, _results = solver.solve_day(hours)
+        plan_set.created_at_s = now
+        plan_set.expires_at_s = now + self._plan_lifetime
+        self.plan_history.append((now, plan_set))
+        return self.migrator.migrate(plan_set)
+
+    def _maybe_refit_forecasts(self, now: float) -> None:
+        """Daily Holt-Winters refit over the past week (§7.2)."""
+        if not self._use_forecast:
+            return
+        day = int(now // SECONDS_PER_DAY)
+        if day == self._last_forecast_day:
+            return
+        now_hour = int(now // SECONDS_PER_HOUR)
+        for region in self._cloud.regions:
+            self.metrics.forecasts.refit(region, now_hour)
+        self._last_forecast_day = day
+
+    def _realized_savings(self, since_s: float, until_s: float) -> float:
+        """Measured carbon saved vs the home baseline over a period.
+
+        Uses the 10 % benchmarking traffic (§6.2) as the home baseline:
+        mean per-invocation carbon of home-routed requests minus that of
+        plan-routed requests, scaled to the period's plan-routed volume.
+        """
+        ledger = self._cloud.ledger
+        home_region = self._d.config.home_region
+        footprints = self._accountant.price_by_request(
+            ledger, self._d.name, since_s=since_s, until_s=until_s
+        )
+        if not footprints:
+            return 0.0
+        # Classify each invocation by where its executions ran (one
+        # ledger pass; matches the footprint grouping above).
+        regions_by_rid: Dict[str, set] = {}
+        for rec in ledger.executions:
+            if rec.workflow == self._d.name and since_s <= rec.start_s < until_s:
+                regions_by_rid.setdefault(rec.request_id, set()).add(rec.region)
+        home_carbons: List[float] = []
+        routed_carbons: List[float] = []
+        for rid, fp in footprints.items():
+            regions = regions_by_rid.get(rid)
+            if not regions:
+                continue
+            if regions == {home_region}:
+                home_carbons.append(fp.carbon_g)
+            else:
+                routed_carbons.append(fp.carbon_g)
+        if not home_carbons or not routed_carbons:
+            return 0.0
+        saving_per_inv = float(np.mean(home_carbons) - np.mean(routed_carbons))
+        return max(0.0, saving_per_inv * len(routed_carbons))

@@ -1,0 +1,135 @@
+"""Deployment Migrator (paper §6.1, "Re-Deployment").
+
+Given a freshly solved plan set, the migrator determines which
+(function, region) deployments are missing, replays deployment steps
+2-3 for each — copying images between registries with crane rather than
+rebuilding — and *activates* the plan set by updating the key-value
+store only once every function is in place.  "If any function
+re-deployment fails, the framework defaults to the home region
+deployment", and the migrator "periodically retries the rollout of any
+non-activated DP until it is replaced by a new one".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.common.errors import DeploymentError
+from repro.core.deployer import DeploymentUtility
+from repro.core.executor import CaribouExecutor, DeployedWorkflow
+from repro.model.plan import HourlyPlanSet
+
+
+@dataclass
+class MigrationReport:
+    """Outcome of one migration attempt."""
+
+    activated: bool
+    deployed: Tuple[Tuple[str, str], ...]  # (function, region) newly created
+    failed: Optional[Tuple[str, str]] = None
+    error: str = ""
+
+
+class DeploymentMigrator:
+    """Materialises plan sets across regions for one workflow."""
+
+    def __init__(
+        self,
+        utility: DeploymentUtility,
+        deployed: DeployedWorkflow,
+        executor: CaribouExecutor,
+    ):
+        self._utility = utility
+        self._d = deployed
+        self._executor = executor
+        self._pending: Optional[HourlyPlanSet] = None
+        self.migrations_performed = 0
+        self.activations = 0
+
+    # -- queries ---------------------------------------------------------------
+    def required_deployments(self, plan_set: HourlyPlanSet) -> Set[Tuple[str, str]]:
+        """(function, region) pairs any hour of the plan set routes to."""
+        needed: Set[Tuple[str, str]] = set()
+        for plan in plan_set.distinct_plans():
+            for node, region in plan.assignments.items():
+                needed.add((self._d.dag.node(node).function, region))
+        return needed
+
+    def missing_deployments(self, plan_set: HourlyPlanSet) -> List[Tuple[str, str]]:
+        functions = self._d.cloud.functions
+        return sorted(
+            (fn, region)
+            for fn, region in self.required_deployments(plan_set)
+            if not functions.is_deployed(self._d.name, fn, region)
+        )
+
+    @property
+    def pending(self) -> Optional[HourlyPlanSet]:
+        """A solved-but-not-yet-activated plan set awaiting retry."""
+        return self._pending
+
+    # -- migration ----------------------------------------------------------------
+    def migrate(self, plan_set: HourlyPlanSet) -> MigrationReport:
+        """Deploy whatever the plan set needs, then activate it.
+
+        On any failure the plan is *not* activated: traffic falls back to
+        the home region (the executor's per-publish fallback plus the
+        cleared active plan), and the plan set is parked for
+        :meth:`retry_pending`.
+        """
+        home = self._d.config.home_region
+        created: List[Tuple[str, str]] = []
+        for function, region in self.missing_deployments(plan_set):
+            spec = self._d.workflow.function(function)
+            try:
+                self._utility.deploy_function(
+                    self._d,
+                    self._executor,
+                    spec,
+                    region,
+                    copy_image_from=home,
+                )
+            except DeploymentError as exc:
+                self._pending = plan_set
+                self._executor.clear_plan()  # default back to home (§6.1)
+                return MigrationReport(
+                    activated=False,
+                    deployed=tuple(created),
+                    failed=(function, region),
+                    error=str(exc),
+                )
+            created.append((function, region))
+            self.migrations_performed += 1
+
+        self._executor.stage_plan_set(plan_set)
+        self._pending = None
+        self.activations += 1
+        return MigrationReport(activated=True, deployed=tuple(created))
+
+    def retry_pending(self) -> Optional[MigrationReport]:
+        """Retry a parked rollout (§6.1).  No-op when nothing is pending."""
+        if self._pending is None:
+            return None
+        return self.migrate(self._pending)
+
+    def replace_pending(self, plan_set: HourlyPlanSet) -> None:
+        """A newer plan supersedes a parked one ("until it is replaced
+        by a new one")."""
+        self._pending = plan_set
+
+    # -- housekeeping -----------------------------------------------------------------
+    def decommission_unused(self, plan_set: HourlyPlanSet) -> List[Tuple[str, str]]:
+        """Remove function deployments no plan hour routes to, keeping
+        the home region untouched (it is the permanent fallback)."""
+        needed = self.required_deployments(plan_set)
+        home = self._d.config.home_region
+        removed: List[Tuple[str, str]] = []
+        for deployment in self._d.cloud.functions.deployments_of(self._d.name):
+            key = (deployment.function, deployment.region)
+            if deployment.region == home or key in needed:
+                continue
+            spec = self._d.workflow.function(deployment.function)
+            self._utility.remove_function(self._d, spec, deployment.region)
+            removed.append(key)
+        return removed

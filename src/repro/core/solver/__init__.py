@@ -1,0 +1,27 @@
+"""Deployment-plan solvers (paper §5.1).
+
+The search space for a workflow with nodes ``N`` over regions ``R`` is
+``|R|^|N|``.  Caribou's production solver is Heuristic-Biased Stochastic
+Sampling (:mod:`repro.core.solver.hbss`, Alg. 1); the paper also
+discusses the coarse single-region approach (``O(|R|)``, globally
+suboptimal) and notes that exhaustive/BFS search "proved intractable" —
+both are provided as baselines for comparison and ablation:
+
+* :class:`~repro.core.solver.hbss.HBSSSolver`
+* :class:`~repro.core.solver.coarse.CoarseSolver`
+* :class:`~repro.core.solver.exhaustive.ExhaustiveSolver`
+"""
+
+from repro.core.solver.coarse import CoarseSolver
+from repro.core.solver.evaluation import PlanEvaluator, SolverSettings
+from repro.core.solver.exhaustive import ExhaustiveSolver
+from repro.core.solver.hbss import HBSSSolver, SolveResult
+
+__all__ = [
+    "PlanEvaluator",
+    "SolverSettings",
+    "HBSSSolver",
+    "SolveResult",
+    "CoarseSolver",
+    "ExhaustiveSolver",
+]

@@ -1,0 +1,76 @@
+"""Coarse-grained single-region solver (paper §5.1's "simple approach").
+
+"A simple approach to tame the search space is to limit the deployment
+of all DAG nodes to the same region, reducing the solver complexity to
+O(|R|)."  The paper shows this is globally suboptimal — it can neither
+offload off-critical-path nodes nor respect per-function compliance
+while shifting the rest (§5.1) — which is exactly what Fig. 7's
+"Coarse" bars demonstrate.  This solver is that baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.errors import SolverError
+from repro.core.solver.evaluation import PlanEvaluator
+from repro.metrics.montecarlo import WorkflowEstimate
+from repro.model.plan import DeploymentPlan, HourlyPlanSet
+
+
+class CoarseSolver:
+    """Evaluates every compliant single-region plan, picks the best."""
+
+    def __init__(self, evaluator: PlanEvaluator):
+        self._ev = evaluator
+
+    def candidate_regions(self) -> Tuple[str, ...]:
+        """Regions in which *every* node may legally run."""
+        ev = self._ev
+        candidates = []
+        for region in ev.regions:
+            if all(
+                region in ev.permitted_regions(node)
+                for node in ev.dag.node_names
+            ):
+                candidates.append(region)
+        return tuple(candidates)
+
+    def solve_hour(
+        self, hour: int, enforce_tolerances: bool = True
+    ) -> Tuple[DeploymentPlan, WorkflowEstimate]:
+        """Best single-region plan for one hour.
+
+        Raises :class:`SolverError` when compliance leaves no region at
+        all; falls back to the home region when every alternative
+        violates the QoS tolerances.
+        """
+        ev = self._ev
+        regions = self.candidate_regions()
+        if not regions:
+            raise SolverError(
+                "no region satisfies all function-level compliance "
+                "constraints simultaneously; a coarse single-region plan "
+                "is impossible"
+            )
+        best_plan: Optional[DeploymentPlan] = None
+        best_metric = float("inf")
+        for region in regions:
+            plan = DeploymentPlan.single_region(ev.dag, region)
+            if enforce_tolerances and ev.tolerance_violated(plan, hour):
+                continue
+            metric = ev.metric(plan, hour)
+            if metric < best_metric:
+                best_plan, best_metric = plan, metric
+        if best_plan is None:
+            best_plan = ev.home_plan()
+        return best_plan, ev.estimate(best_plan, hour)
+
+    def solve_day(
+        self, hours: Optional[Sequence[int]] = None, enforce_tolerances: bool = True
+    ) -> HourlyPlanSet:
+        hour_list = list(hours) if hours is not None else list(range(24))
+        plans = {
+            h: self.solve_hour(h, enforce_tolerances)[0] for h in hour_list
+        }
+        return HourlyPlanSet(plans)

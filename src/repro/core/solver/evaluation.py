@@ -1,0 +1,189 @@
+"""Plan evaluation shared by all solvers.
+
+Wraps the Monte-Carlo estimator with: per-plan profile caching (one
+simulation run re-priced across the 24 hourly intensities, see
+:class:`~repro.metrics.montecarlo.PlanProfile`), compliance filtering of
+candidate regions (workflow- and function-level, §8), and QoS tolerance
+checks against the home-region baseline (§9.4: a plan violates QoS when
+its 95th-percentile tail exceeds the home-region tail augmented by the
+developer's tolerance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.carbon import CarbonModel
+from repro.metrics.cost import CostModel
+from repro.metrics.latency import TransferLatencyModel
+from repro.metrics.montecarlo import (
+    MonteCarloEstimator,
+    PlanProfile,
+    WorkflowEstimate,
+    WorkflowModelData,
+)
+from repro.model.config import WorkflowConfig
+from repro.model.dag import WorkflowDAG
+from repro.model.plan import DeploymentPlan
+
+
+@dataclass(frozen=True)
+class SolverSettings:
+    """Tunables for the solver stack.
+
+    The Monte-Carlo fidelity knobs default *below* the paper's 200/2000
+    values because the solver's inner loop evaluates hundreds of plans;
+    final candidate ranking can be re-run at full fidelity by callers.
+    ``alpha_per_node_region`` is the 6 in Alg. 1 line 2
+    (``alpha = |N| x |R| x 6``); ``beta`` its bias, ``gamma`` the initial
+    temperature with ``gamma_decay`` applied per accepted move.
+    """
+
+    batch_size: int = 100
+    max_samples: int = 400
+    cov_threshold: float = 0.08
+    alpha_per_node_region: int = 6
+    beta: float = 0.2
+    gamma: float = 1.0
+    gamma_decay: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0 or self.max_samples <= 0:
+            raise ValueError("Monte-Carlo sample knobs must be positive")
+        if not 0.0 <= self.beta <= 1.0:
+            raise ValueError(f"beta must be in [0, 1], got {self.beta}")
+        if self.alpha_per_node_region <= 0:
+            raise ValueError("alpha_per_node_region must be positive")
+
+
+class PlanEvaluator:
+    """Caches plan profiles and answers metric/tolerance queries."""
+
+    def __init__(
+        self,
+        dag: WorkflowDAG,
+        config: WorkflowConfig,
+        data: WorkflowModelData,
+        regions: Sequence[str],
+        intensity_fn: Callable[[str, int], float],
+        carbon_model: CarbonModel,
+        cost_model: CostModel,
+        latency_model: TransferLatencyModel,
+        rng: np.random.Generator,
+        kv_region: Optional[str] = None,
+        settings: SolverSettings = SolverSettings(),
+    ):
+        """Args:
+        dag / config / data: The workflow and its learned behaviour.
+        regions: Candidate regions (the provider's available set).
+        intensity_fn: ``(region, hour) -> gCO2eq/kWh``; typically the
+            Metrics Manager's forecast-aware accessor.
+        carbon_model / cost_model / latency_model: Pricing models.
+        rng: Solver-owned random stream.
+        kv_region: Framework KV-store region (defaults to home).
+        settings: Fidelity and HBSS hyper-parameters.
+        """
+        self.dag = dag
+        self.config = config
+        self.settings = settings
+        self._intensity_fn = intensity_fn
+        self._kv_region = kv_region or config.home_region
+        self._estimator = MonteCarloEstimator(
+            dag,
+            data,
+            carbon_model,
+            cost_model,
+            latency_model,
+            rng,
+            kv_region=self._kv_region,
+            batch_size=settings.batch_size,
+            max_samples=settings.max_samples,
+            cov_threshold=settings.cov_threshold,
+        )
+        self._profiles: Dict[DeploymentPlan, PlanProfile] = {}
+        self._estimates: Dict[Tuple[DeploymentPlan, int], WorkflowEstimate] = {}
+        self._permitted: Dict[str, Tuple[str, ...]] = {}
+        for node in dag.node_names:
+            function = dag.node(node).function
+            allowed = config.permitted_regions_for_function(function, regions)
+            if not allowed:
+                raise ValueError(
+                    f"compliance constraints leave no region for node "
+                    f"{node!r} (function {function!r})"
+                )
+            self._permitted[node] = allowed
+        self.regions = tuple(regions)
+
+    # -- candidate space -----------------------------------------------------
+    def permitted_regions(self, node: str) -> Tuple[str, ...]:
+        """Regions node may be deployed to after compliance filtering."""
+        return self._permitted[node]
+
+    def search_space_size(self) -> int:
+        size = 1
+        for node in self.dag.node_names:
+            size *= len(self._permitted[node])
+            if size > 10**15:  # avoid astronomically large ints downstream
+                return 10**15
+        return size
+
+    def home_plan(self) -> DeploymentPlan:
+        return DeploymentPlan.single_region(self.dag, self.config.home_region)
+
+    def is_plan_compliant(self, plan: DeploymentPlan) -> bool:
+        return all(
+            plan.region_of(node) in self._permitted[node]
+            for node in self.dag.node_names
+        )
+
+    # -- evaluation -------------------------------------------------------------
+    def profile(self, plan: DeploymentPlan) -> PlanProfile:
+        if plan not in self._profiles:
+            self._profiles[plan] = self._estimator.estimate_profile(plan)
+        return self._profiles[plan]
+
+    def estimate(self, plan: DeploymentPlan, hour: int) -> WorkflowEstimate:
+        key = (plan, hour)
+        if key not in self._estimates:
+            profile = self.profile(plan)
+            self._estimates[key] = profile.estimate_at(
+                lambda region: self._intensity_fn(region, hour)
+            )
+        return self._estimates[key]
+
+    def baseline(self, hour: int) -> WorkflowEstimate:
+        """Home-region single-deployment estimate: the QoS anchor."""
+        return self.estimate(self.home_plan(), hour)
+
+    def metric(self, plan: DeploymentPlan, hour: int) -> float:
+        return self.estimate(plan, hour).metric(self.config.priority)
+
+    @property
+    def plans_profiled(self) -> int:
+        return len(self._profiles)
+
+    # -- tolerances -----------------------------------------------------------
+    def tolerance_violated(self, plan: DeploymentPlan, hour: int) -> bool:
+        """Alg. 1's ``ToleranceViolated``: tail metrics vs the augmented
+        home baseline (§9.4)."""
+        tol = self.config.tolerances
+        if tol.latency is None and tol.carbon is None and tol.cost is None:
+            return False
+        est = self.estimate(plan, hour)
+        base = self.baseline(hour)
+        if tol.latency is not None and est.tail_latency_s > base.tail_latency_s * (
+            1.0 + tol.latency
+        ):
+            return True
+        if tol.carbon is not None and est.tail_carbon_g > base.tail_carbon_g * (
+            1.0 + tol.carbon
+        ):
+            return True
+        if tol.cost is not None and est.tail_cost_usd > base.tail_cost_usd * (
+            1.0 + tol.cost
+        ):
+            return True
+        return False

@@ -1,0 +1,27 @@
+"""Synthetic data sources standing in for the paper's external feeds.
+
+The original system pulls live data from Electricity Maps (grid carbon
+intensity), the AWS Price List (service prices), CloudPing (inter-region
+latency), and replays the 2021 Azure Functions invocation trace.  None of
+those are reachable offline, so this package synthesises equivalents that
+are calibrated to the summary statistics the paper reports; see DESIGN.md
+§2 for the substitution rationale.
+"""
+
+from repro.data.carbon import CarbonIntensitySource, generate_carbon_trace
+from repro.data.latency import LatencySource
+from repro.data.pricing import PricingSource
+from repro.data.regions import NORTH_AMERICA, Region, get_region
+from repro.data.traces import InvocationTrace, azure_like_trace
+
+__all__ = [
+    "Region",
+    "get_region",
+    "NORTH_AMERICA",
+    "CarbonIntensitySource",
+    "generate_carbon_trace",
+    "PricingSource",
+    "LatencySource",
+    "InvocationTrace",
+    "azure_like_trace",
+]

@@ -1,0 +1,111 @@
+"""Per-region price tables (AWS Price List substitute).
+
+The cost model (§7.1) charges: Lambda GB-second compute + per-invocation
+fee, SNS publishes, DynamoDB accesses introduced by the framework, and
+inter-region egress.  Prices here are the public AWS list prices as of
+the paper's period; regional multipliers reflect that Canadian/US-West
+regions price slightly above us-east-1 (§2.3 Cost).  The free tier is not
+modelled, matching the paper ("we do not consider the implications of the
+free tier").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.data.regions import Region, get_region
+
+
+@dataclass(frozen=True)
+class RegionPrices:
+    """All unit prices the cost model needs for one region (USD)."""
+
+    lambda_gb_second: float
+    lambda_invocation: float
+    sns_per_million: float
+    dynamodb_per_million_write: float
+    dynamodb_per_million_read: float
+    egress_per_gb: float
+
+    @property
+    def sns_publish(self) -> float:
+        """USD per single SNS publish."""
+        return self.sns_per_million / 1e6
+
+    @property
+    def dynamodb_write(self) -> float:
+        """USD per single write request unit."""
+        return self.dynamodb_per_million_write / 1e6
+
+    @property
+    def dynamodb_read(self) -> float:
+        """USD per single read request unit."""
+        return self.dynamodb_per_million_read / 1e6
+
+
+# us-east-1 list prices (x86, on-demand).
+_BASE = RegionPrices(
+    lambda_gb_second=1.66667e-5,
+    lambda_invocation=2.0e-7,
+    sns_per_million=0.50,
+    dynamodb_per_million_write=1.25,
+    dynamodb_per_million_read=0.25,
+    egress_per_gb=0.09,
+)
+
+# Regional price multipliers relative to us-east-1.
+_MULTIPLIERS: Dict[str, float] = {
+    "us-east-1": 1.00,
+    "us-east-2": 1.00,
+    "us-west-1": 1.12,
+    "us-west-2": 1.00,
+    "ca-central-1": 1.06,
+    "ca-west-1": 1.10,
+}
+
+
+def _scaled(multiplier: float) -> RegionPrices:
+    return RegionPrices(
+        lambda_gb_second=_BASE.lambda_gb_second * multiplier,
+        lambda_invocation=_BASE.lambda_invocation * multiplier,
+        sns_per_million=_BASE.sns_per_million * multiplier,
+        dynamodb_per_million_write=_BASE.dynamodb_per_million_write * multiplier,
+        dynamodb_per_million_read=_BASE.dynamodb_per_million_read * multiplier,
+        egress_per_gb=_BASE.egress_per_gb,
+    )
+
+
+class PricingSource:
+    """Price lookups per region, with optional per-region overrides."""
+
+    def __init__(self, overrides: Dict[str, RegionPrices] | None = None):
+        self._prices: Dict[str, RegionPrices] = {
+            name: _scaled(mult) for name, mult in _MULTIPLIERS.items()
+        }
+        if overrides:
+            for name, prices in overrides.items():
+                get_region(name)  # validate the region exists
+                self._prices[name] = prices
+
+    def prices(self, region: "Region | str") -> RegionPrices:
+        name = region.name if isinstance(region, Region) else region
+        try:
+            return self._prices[name]
+        except KeyError:
+            known = ", ".join(sorted(self._prices))
+            raise KeyError(
+                f"no prices for region {name!r}; known: {known}"
+            ) from None
+
+    def egress_per_gb(self, src: "Region | str", dst: "Region | str") -> float:
+        """Egress price in USD/GB for a transfer from ``src`` to ``dst``.
+
+        Intra-region traffic is free; cross-region transfers pay the
+        source region's egress rate (AWS bills the sender).
+        """
+        src_name = src.name if isinstance(src, Region) else src
+        dst_name = dst.name if isinstance(dst, Region) else dst
+        if src_name == dst_name:
+            return 0.0
+        return self.prices(src_name).egress_per_gb

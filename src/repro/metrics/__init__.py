@@ -1,0 +1,27 @@
+"""Metrics: models, acquisition, and forecasting (paper §7).
+
+* :mod:`repro.metrics.carbon` — operational carbon models, Eq. 7.1-7.5.
+* :mod:`repro.metrics.cost` — execution/transmission/messaging cost.
+* :mod:`repro.metrics.distributions` — empirical distributions.
+* :mod:`repro.metrics.montecarlo` — end-to-end workflow estimation.
+* :mod:`repro.metrics.forecast` — Holt-Winters carbon forecasting.
+* :mod:`repro.metrics.manager` — the Metrics Manager component.
+"""
+
+from repro.metrics.carbon import CarbonModel, TransmissionScenario
+from repro.metrics.cost import CostModel
+from repro.metrics.distributions import EmpiricalDistribution
+from repro.metrics.forecast import HoltWintersForecaster
+from repro.metrics.manager import MetricsManager
+from repro.metrics.montecarlo import MonteCarloEstimator, WorkflowEstimate
+
+__all__ = [
+    "CarbonModel",
+    "TransmissionScenario",
+    "CostModel",
+    "EmpiricalDistribution",
+    "HoltWintersForecaster",
+    "MetricsManager",
+    "MonteCarloEstimator",
+    "WorkflowEstimate",
+]

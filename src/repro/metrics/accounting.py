@@ -1,0 +1,239 @@
+"""Carbon/cost accounting over raw ledger records.
+
+The simulator's ledger stores *measurements* (durations, bytes, CPU
+time); this module prices them into gCO2eq and USD using the paper's
+models (§7.1) and the carbon intensity that prevailed at each record's
+timestamp.  Because pricing is separate from simulation, one simulated
+run can be re-priced under both the best- and worst-case transmission
+scenarios (§9.1 fairness rule 4) without re-running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.cloud.ledger import (
+    ExecutionRecord,
+    KvAccessRecord,
+    MessagingRecord,
+    MeteringLedger,
+    TransmissionRecord,
+)
+from repro.data.carbon import CarbonIntensitySource
+from repro.metrics.carbon import CarbonModel, TransmissionScenario
+from repro.metrics.cost import CostModel
+
+
+@dataclass
+class InvocationFootprint:
+    """Priced totals for one workflow invocation (or any record group)."""
+
+    carbon_g: float = 0.0
+    exec_carbon_g: float = 0.0
+    trans_carbon_g: float = 0.0
+    cost_usd: float = 0.0
+    exec_seconds: float = 0.0
+    bytes_moved: float = 0.0
+    n_executions: int = 0
+    n_transmissions: int = 0
+
+    def merged(self, other: "InvocationFootprint") -> "InvocationFootprint":
+        return InvocationFootprint(
+            carbon_g=self.carbon_g + other.carbon_g,
+            exec_carbon_g=self.exec_carbon_g + other.exec_carbon_g,
+            trans_carbon_g=self.trans_carbon_g + other.trans_carbon_g,
+            cost_usd=self.cost_usd + other.cost_usd,
+            exec_seconds=self.exec_seconds + other.exec_seconds,
+            bytes_moved=self.bytes_moved + other.bytes_moved,
+            n_executions=self.n_executions + other.n_executions,
+            n_transmissions=self.n_transmissions + other.n_transmissions,
+        )
+
+
+class CarbonAccountant:
+    """Prices ledger records under one transmission scenario."""
+
+    def __init__(
+        self,
+        carbon_source: CarbonIntensitySource,
+        carbon_model: CarbonModel,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self._source = carbon_source
+        self._carbon = carbon_model
+        self._cost = cost_model
+
+    def with_scenario(self, scenario: TransmissionScenario) -> "CarbonAccountant":
+        return CarbonAccountant(
+            self._source, self._carbon.with_scenario(scenario), self._cost
+        )
+
+    # -- single records ---------------------------------------------------------
+    def execution_carbon_g(self, record: ExecutionRecord) -> float:
+        intensity = self._source.intensity_at(record.region, record.start_s)
+        return self._carbon.execution_carbon_g(
+            grid_intensity=intensity,
+            duration_s=record.duration_s,
+            memory_mb=record.memory_mb,
+            n_vcpu=record.n_vcpu,
+            cpu_total_time_s=record.cpu_total_time_s,
+        )
+
+    def transmission_carbon_g(self, record: TransmissionRecord) -> float:
+        intensity = self._source.route_intensity_at(
+            record.src_region, record.dst_region, record.start_s
+        )
+        return self._carbon.transmission_carbon_g(
+            route_intensity=intensity,
+            size_bytes=record.size_bytes,
+            intra_region=record.intra_region,
+        )
+
+    # -- aggregation ----------------------------------------------------------------
+    def price(
+        self,
+        executions: Sequence[ExecutionRecord] = (),
+        transmissions: Sequence[TransmissionRecord] = (),
+        messages: Sequence[MessagingRecord] = (),
+        kv_accesses: Sequence[KvAccessRecord] = (),
+    ) -> InvocationFootprint:
+        fp = InvocationFootprint()
+        for rec in executions:
+            carbon = self.execution_carbon_g(rec)
+            fp.exec_carbon_g += carbon
+            fp.carbon_g += carbon
+            fp.exec_seconds += rec.duration_s
+            fp.n_executions += 1
+            if self._cost is not None:
+                fp.cost_usd += self._cost.execution_cost(
+                    rec.region, rec.duration_s, rec.memory_mb
+                )
+        for rec in transmissions:
+            carbon = self.transmission_carbon_g(rec)
+            fp.trans_carbon_g += carbon
+            fp.carbon_g += carbon
+            fp.bytes_moved += rec.size_bytes
+            fp.n_transmissions += 1
+            if self._cost is not None:
+                fp.cost_usd += self._cost.transmission_cost(
+                    rec.src_region, rec.dst_region, rec.size_bytes
+                )
+        if self._cost is not None:
+            for msg in messages:
+                fp.cost_usd += self._cost.messaging_cost(msg.region)
+            for access in kv_accesses:
+                fp.cost_usd += self._cost.kv_cost(
+                    access.region,
+                    n_reads=0 if access.write else 1,
+                    n_writes=1 if access.write else 0,
+                )
+        return fp
+
+    def price_by_request(
+        self,
+        ledger: MeteringLedger,
+        workflow: str,
+        since_s: float = float("-inf"),
+        until_s: float = float("inf"),
+    ) -> Dict[str, InvocationFootprint]:
+        """Price every invocation of a workflow in one ledger pass.
+
+        O(records) total, unlike calling :meth:`price_workflow` per
+        request id (which scans the whole ledger each time) — the shape
+        the Deployment Manager needs when computing realised savings
+        over thousands of invocations (§5.2).
+        """
+        groups: Dict[str, InvocationFootprint] = {}
+
+        def fp_for(rid: str) -> InvocationFootprint:
+            if rid not in groups:
+                groups[rid] = InvocationFootprint()
+            return groups[rid]
+
+        for rec in ledger.executions:
+            if rec.workflow != workflow or not (since_s <= rec.start_s < until_s):
+                continue
+            fp = fp_for(rec.request_id)
+            carbon = self.execution_carbon_g(rec)
+            fp.exec_carbon_g += carbon
+            fp.carbon_g += carbon
+            fp.exec_seconds += rec.duration_s
+            fp.n_executions += 1
+            if self._cost is not None:
+                fp.cost_usd += self._cost.execution_cost(
+                    rec.region, rec.duration_s, rec.memory_mb
+                )
+        for rec in ledger.transmissions:
+            if rec.workflow != workflow or not (since_s <= rec.start_s < until_s):
+                continue
+            if not rec.request_id:
+                continue
+            fp = fp_for(rec.request_id)
+            carbon = self.transmission_carbon_g(rec)
+            fp.trans_carbon_g += carbon
+            fp.carbon_g += carbon
+            fp.bytes_moved += rec.size_bytes
+            fp.n_transmissions += 1
+            if self._cost is not None:
+                fp.cost_usd += self._cost.transmission_cost(
+                    rec.src_region, rec.dst_region, rec.size_bytes
+                )
+        if self._cost is not None:
+            for msg in ledger.messages:
+                if msg.workflow != workflow or not (
+                    since_s <= msg.start_s < until_s
+                ):
+                    continue
+                fp_for(msg.request_id).cost_usd += self._cost.messaging_cost(
+                    msg.region
+                )
+            for access in ledger.kv_accesses:
+                if access.workflow != workflow or not (
+                    since_s <= access.start_s < until_s
+                ):
+                    continue
+                fp_for(access.request_id).cost_usd += self._cost.kv_cost(
+                    access.region,
+                    n_reads=0 if access.write else 1,
+                    n_writes=1 if access.write else 0,
+                )
+        groups.pop("", None)
+        return groups
+
+    def price_workflow(
+        self,
+        ledger: MeteringLedger,
+        workflow: str,
+        request_id: Optional[str] = None,
+        since_s: float = float("-inf"),
+        until_s: float = float("inf"),
+    ) -> InvocationFootprint:
+        """Price every record of a workflow (optionally one invocation,
+        optionally restricted to a time window)."""
+
+        def in_window(start: float) -> bool:
+            return since_s <= start < until_s
+
+        return self.price(
+            executions=[
+                r
+                for r in ledger.executions_for(workflow, request_id)
+                if in_window(r.start_s)
+            ],
+            transmissions=[
+                r
+                for r in ledger.transmissions_for(workflow, request_id)
+                if in_window(r.start_s)
+            ],
+            messages=[
+                r
+                for r in ledger.messages_for(workflow, request_id)
+                if in_window(r.start_s)
+            ],
+            kv_accesses=[
+                r
+                for r in ledger.kv_accesses_for(workflow, request_id)
+                if in_window(r.start_s)
+            ],
+        )

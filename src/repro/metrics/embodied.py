@@ -1,0 +1,98 @@
+"""Embodied-carbon accounting (paper §7.1's exclusion, made executable).
+
+The paper deliberately models only *operational* carbon and argues why
+embodied carbon does not belong in Caribou's offloading decisions:
+
+* as long as capacity exists, the hardware's embodied carbon "will be
+  incurred regardless of Caribou's offloading decision" — a sunk cost;
+* reliable per-region embodied data does not exist, so "the most
+  meaningful approach would be to associate the same embedded carbon
+  per unit of resource to all regions";
+* "adding the resulting equal embodied carbon baseline to all regions
+  does not affect their relative carbon differential, the element
+  leveraged by Caribou".
+
+This module implements that equal-per-resource baseline so that
+*reporting* can include embodied carbon when desired, and so the
+invariance argument is testable: re-ranking any set of deployment plans
+with embodied carbon included must produce the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.cloud.ledger import ExecutionRecord
+
+#: Amortised embodied carbon per vCPU-hour, gCO2eq.  Derived from the
+#: common accounting assumption of ~1,200 kgCO2eq embodied per 2-socket
+#: server (96 vCPU) amortised over a 4-year life at 65 % utilisation.
+EMBODIED_G_PER_VCPU_HOUR = 1_200_000.0 / (96 * 4 * 365.25 * 24 * 0.65)
+#: Amortised embodied carbon per GB-hour of DRAM, gCO2eq.
+EMBODIED_G_PER_GB_HOUR = 0.35
+
+
+@dataclass(frozen=True)
+class EmbodiedCarbonModel:
+    """Equal-per-resource embodied baseline (identical in every region).
+
+    Attributes:
+        g_per_vcpu_hour / g_per_gb_hour: Amortisation rates.  The same
+        values apply to all regions by construction (§7.1: no reliable
+        per-region data exists).
+    """
+
+    g_per_vcpu_hour: float = EMBODIED_G_PER_VCPU_HOUR
+    g_per_gb_hour: float = EMBODIED_G_PER_GB_HOUR
+
+    def execution_embodied_g(
+        self, duration_s: float, memory_mb: float, n_vcpu: float
+    ) -> float:
+        """Embodied share attributed to one execution."""
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        hours = duration_s / 3600.0
+        return (
+            self.g_per_vcpu_hour * n_vcpu * hours
+            + self.g_per_gb_hour * (memory_mb / 1024.0) * hours
+        )
+
+    def record_embodied_g(self, record: ExecutionRecord) -> float:
+        return self.execution_embodied_g(
+            record.duration_s, record.memory_mb, record.n_vcpu
+        )
+
+    def total_embodied_g(self, records: Sequence[ExecutionRecord]) -> float:
+        return sum(self.record_embodied_g(r) for r in records)
+
+
+def ranking_invariant_under_embodied(
+    operational_carbons: Sequence[float],
+    resource_hours: Sequence[Tuple[float, float]],
+    model: EmbodiedCarbonModel = EmbodiedCarbonModel(),
+) -> bool:
+    """Check the paper's invariance argument on concrete numbers.
+
+    Args:
+        operational_carbons: Operational gCO2eq per candidate plan.
+        resource_hours: ``(vcpu_hours, gb_hours)`` per candidate plan.
+            When candidates consume the *same* resources (the usual case
+            for alternative placements of the same workload), adding the
+            embodied baseline cannot change the ordering.
+
+    Returns:
+        True when the operational-only ranking equals the
+        operational+embodied ranking.
+    """
+    if len(operational_carbons) != len(resource_hours):
+        raise ValueError("one resource tuple per candidate required")
+
+    def ranking(values: Sequence[float]) -> List[int]:
+        return sorted(range(len(values)), key=lambda i: values[i])
+
+    with_embodied = [
+        op + model.g_per_vcpu_hour * vcpu + model.g_per_gb_hour * gb
+        for op, (vcpu, gb) in zip(operational_carbons, resource_hours)
+    ]
+    return ranking(operational_carbons) == ranking(with_embodied)

@@ -1,0 +1,170 @@
+"""Carbon-intensity forecasting (paper §7.2).
+
+"MM accomplishes this by using Holt-Winters Forecasting Exponential
+Smoothing once every day using the hourly carbon intensities of the
+previous week as input."  Implemented from scratch: additive
+triple-exponential smoothing with a 24-hour season, fit either with
+supplied smoothing parameters or by a small grid search minimising
+one-step-ahead squared error.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+SEASON_LENGTH = 24
+
+
+@dataclass(frozen=True)
+class HoltWintersParams:
+    """Smoothing parameters: level, trend, season — all in (0, 1)."""
+
+    alpha: float
+    beta: float
+    gamma: float
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "beta", "gamma"):
+            v = getattr(self, name)
+            if not 0.0 < v < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {v}")
+
+
+class HoltWintersForecaster:
+    """Additive Holt-Winters with a daily (24-hour) season."""
+
+    def __init__(
+        self,
+        season_length: int = SEASON_LENGTH,
+        params: Optional[HoltWintersParams] = None,
+    ):
+        if season_length < 2:
+            raise ValueError(f"season_length must be >= 2, got {season_length}")
+        self._m = season_length
+        self._params = params
+        # Fitted state.
+        self._level: Optional[float] = None
+        self._trend: Optional[float] = None
+        self._season: Optional[np.ndarray] = None
+        self._fitted_params: Optional[HoltWintersParams] = None
+        self._n_observed = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._level is not None
+
+    @property
+    def fitted_params(self) -> Optional[HoltWintersParams]:
+        return self._fitted_params
+
+    def fit(self, series: Sequence[float]) -> "HoltWintersForecaster":
+        """Fit on a history of at least two full seasons.
+
+        The paper feeds in the previous week of hourly data (168 points,
+        7 seasons), refit daily.
+        """
+        y = np.asarray(series, dtype=float)
+        if len(y) < 2 * self._m:
+            raise ValueError(
+                f"need at least {2 * self._m} observations, got {len(y)}"
+            )
+        if not np.all(np.isfinite(y)):
+            raise ValueError("series contains non-finite values")
+
+        if self._params is not None:
+            params = self._params
+        else:
+            params = self._grid_search(y)
+
+        level, trend, season = self._run_smoothing(y, params)
+        self._level, self._trend, self._season = level, trend, season
+        self._fitted_params = params
+        self._n_observed = len(y)
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Point forecasts for the next ``horizon`` steps."""
+        if not self.is_fitted:
+            raise RuntimeError("forecaster must be fitted before forecasting")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        assert self._level is not None and self._trend is not None
+        assert self._season is not None
+        h = np.arange(1, horizon + 1, dtype=float)
+        seasonal = np.array(
+            [self._season[(self._n_observed + i) % self._m] for i in range(horizon)]
+        )
+        out = self._level + h * self._trend + seasonal
+        return np.clip(out, 0.0, None)  # carbon intensity is non-negative
+
+    # -- internals ---------------------------------------------------------
+    def _initial_state(
+        self, y: np.ndarray
+    ) -> Tuple[float, float, np.ndarray]:
+        m = self._m
+        season_means = y[: 2 * m].reshape(2, m).mean(axis=1)
+        level = float(y[:m].mean())
+        trend = float((season_means[1] - season_means[0]) / m)
+        season = y[:m] - level
+        return level, trend, season.copy()
+
+    def _run_smoothing(
+        self, y: np.ndarray, params: HoltWintersParams
+    ) -> Tuple[float, float, np.ndarray]:
+        level, trend, season = self._initial_state(y)
+        a, b, g = params.alpha, params.beta, params.gamma
+        m = self._m
+        for t in range(len(y)):
+            s = season[t % m]
+            prev_level = level
+            level = a * (y[t] - s) + (1 - a) * (level + trend)
+            trend = b * (level - prev_level) + (1 - b) * trend
+            season[t % m] = g * (y[t] - level) + (1 - g) * s
+        return level, trend, season
+
+    def _one_step_sse(self, y: np.ndarray, params: HoltWintersParams) -> float:
+        level, trend, season = self._initial_state(y)
+        a, b, g = params.alpha, params.beta, params.gamma
+        m = self._m
+        sse = 0.0
+        for t in range(len(y)):
+            s = season[t % m]
+            pred = level + trend + s
+            err = y[t] - pred
+            sse += err * err
+            prev_level = level
+            level = a * (y[t] - s) + (1 - a) * (level + trend)
+            trend = b * (level - prev_level) + (1 - b) * trend
+            season[t % m] = g * (y[t] - level) + (1 - g) * s
+        return sse
+
+    def _grid_search(self, y: np.ndarray) -> HoltWintersParams:
+        grid = (0.05, 0.15, 0.3, 0.5, 0.8)
+        trend_grid = (0.01, 0.05, 0.15)
+        best: Optional[HoltWintersParams] = None
+        best_sse = math.inf
+        for a, b, g in itertools.product(grid, trend_grid, grid):
+            params = HoltWintersParams(a, b, g)
+            sse = self._one_step_sse(y, params)
+            if sse < best_sse:
+                best_sse = sse
+                best = params
+        assert best is not None
+        return best
+
+
+def mape(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Mean absolute percentage error (Fig. 13b's forecast-quality axis)."""
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {p.shape}")
+    if len(a) == 0:
+        raise ValueError("empty series")
+    denom = np.where(np.abs(a) < 1e-9, 1e-9, np.abs(a))
+    return float(np.mean(np.abs(a - p) / denom))

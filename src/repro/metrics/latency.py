@@ -1,0 +1,39 @@
+"""Transmission-latency estimation for the planner.
+
+The Metrics Manager captures transmission latency "as a latency
+distribution for various input sizes, derived from historical data"; in
+the absence of history it "defaults to using CloudPing to estimate
+transmission latency" (§7.1).  This module is that fallback path: a
+deterministic latency estimate from the CloudPing-substitute RTT grid
+plus serialisation delay, sharing the bandwidth constants with the
+simulated network so estimates and measurements agree.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.network import (
+    DEFAULT_INTER_REGION_BANDWIDTH,
+    DEFAULT_INTRA_REGION_BANDWIDTH,
+)
+from repro.data.latency import LatencySource
+
+
+class TransferLatencyModel:
+    """CloudPing-style latency estimates (no jitter — model, not sample)."""
+
+    def __init__(
+        self,
+        latency_source: LatencySource,
+        inter_region_bandwidth: float = DEFAULT_INTER_REGION_BANDWIDTH,
+        intra_region_bandwidth: float = DEFAULT_INTRA_REGION_BANDWIDTH,
+    ):
+        self._latency = latency_source
+        self._inter_bw = inter_region_bandwidth
+        self._intra_bw = intra_region_bandwidth
+
+    def estimate(self, src: str, dst: str, size_bytes: float) -> float:
+        """Expected one-way transfer latency in seconds."""
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be non-negative, got {size_bytes}")
+        bandwidth = self._intra_bw if src == dst else self._inter_bw
+        return self._latency.one_way(src, dst) + size_bytes / bandwidth

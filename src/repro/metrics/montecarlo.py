@@ -1,0 +1,412 @@
+"""Monte-Carlo end-to-end workflow estimation (paper §7.1).
+
+Estimating the latency, cost, and carbon of a *conditional* DAG under a
+candidate deployment plan is the solver's inner loop.  Following the
+paper, each simulation:
+
+1. samples each conditional edge's invocation from its historical
+   probability to fix the realised partial DAG;
+2. samples every executed node's execution time from its per-region
+   historical distribution and every taken edge's payload size from its
+   size distribution, yielding the critical path and end-to-end time;
+3. prices the realised scenario in USD and gCO2eq (including framework
+   overheads: SNS publishes per edge, KV accesses for plan retrieval and
+   sync-node coordination, and the KV-store relay for fan-in data).
+
+Batches of 200 simulations run "until reaching a low coefficient of
+variation below 0.05 ... or until a maximum of 2,000 samples" (§7.1).
+The CoV here is of the *mean estimator* (relative standard error), the
+standard Monte-Carlo stopping rule — the raw sample CoV would never
+converge for wide distributions.  The mean is the "average case" used
+for plan ordering and the 95th percentile the "tail case" used for
+tolerance checks (§7.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.metrics.carbon import CarbonModel
+from repro.metrics.cost import CostModel
+from repro.metrics.distributions import EmpiricalDistribution
+from repro.metrics.latency import TransferLatencyModel
+from repro.model.dag import WorkflowDAG
+from repro.model.plan import DeploymentPlan
+
+BATCH_SIZE = 200
+MAX_SAMPLES = 2000
+COV_THRESHOLD = 0.05
+
+
+class WorkflowModelData(Protocol):
+    """What the estimator needs to know about a workflow's behaviour.
+
+    Implemented by the Metrics Manager (learned from logs) and by tests
+    (hand-built fixtures).
+    """
+
+    def execution_time_dist(self, node: str, region: str) -> EmpiricalDistribution:
+        """Execution-time distribution of ``node`` in ``region``.
+
+        Implementations fall back to the home region's distribution when
+        a region has no history (§7.1)."""
+        ...
+
+    def edge_probability(self, src: str, dst: str) -> float:
+        """Observed invocation probability of the edge."""
+        ...
+
+    def edge_size_dist(self, src: str, dst: str) -> EmpiricalDistribution:
+        """Payload-size distribution (bytes) across the edge."""
+        ...
+
+    def node_memory_mb(self, node: str) -> int:
+        ...
+
+    def node_vcpu(self, node: str) -> float:
+        ...
+
+    def node_cpu_utilization(self, node: str) -> float:
+        """Average vCPU utilisation (from Lambda-Insights data)."""
+        ...
+
+    def node_external_bytes(self, node: str) -> Tuple[Optional[str], float]:
+        """(region, bytes) of fixed external data the node reads, or
+        ``(None, 0.0)``.  External services stay at/near the home region
+        (§9.1 fairness rule 1), so moving the node moves this traffic."""
+        ...
+
+    def input_size_dist(self) -> EmpiricalDistribution:
+        """Distribution of end-user input payload sizes.
+
+        The invocation client sits at/near the home region (§6.2), so a
+        plan that moves the start node pays this transfer cross-region
+        — without it the solver would under-price offloading the entry
+        stage of input-heavy workflows."""
+        ...
+
+
+@dataclass(frozen=True)
+class WorkflowEstimate:
+    """Estimator output for one (plan, hour) pair."""
+
+    mean_latency_s: float
+    tail_latency_s: float
+    mean_cost_usd: float
+    tail_cost_usd: float
+    mean_carbon_g: float
+    tail_carbon_g: float
+    mean_exec_carbon_g: float
+    mean_trans_carbon_g: float
+    n_samples: int
+
+    def metric(self, priority: str) -> float:
+        """The scalar the solver orders plans by (§5.1)."""
+        if priority == "carbon":
+            return self.mean_carbon_g
+        if priority == "cost":
+            return self.mean_cost_usd
+        if priority == "latency":
+            return self.mean_latency_s
+        raise ValueError(f"unknown priority {priority!r}")
+
+
+@dataclass
+class PlanProfile:
+    """Hour-independent Monte-Carlo profile of one deployment plan.
+
+    For a fixed plan, the only hour-dependent inputs are the grid
+    intensities: execution carbon is ``sum_n E_n * I(region_n)`` and
+    transmission carbon ``sum_routes S_route * mean(I_src, I_dst) * EF``
+    (Eq. 7.1/7.5).  Latency and USD cost do not depend on the hour at
+    all.  The profile therefore stores, per simulation sample, the
+    energy aggregated per region and the bytes aggregated per route, so
+    the 24 hourly evaluations of §5.1 can re-price a single simulation
+    run exactly instead of re-running it.
+
+    Attributes:
+        latencies / costs: Per-sample end-to-end values.
+        exec_energy: Per-sample {region: kWh} (already PUE-adjusted).
+        route_bytes: Per-sample {(src_region, dst_region): bytes}.
+    """
+
+    latencies: "np.ndarray"
+    costs: "np.ndarray"
+    exec_energy: List[Dict[str, float]]
+    route_bytes: List[Dict[Tuple[str, str], float]]
+    carbon_model: CarbonModel
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.latencies)
+
+    def carbon_samples(
+        self, carbon_at: Callable[[str], float]
+    ) -> "np.ndarray":
+        """Per-sample total carbon under the given hourly intensities."""
+        out = np.empty(self.n_samples)
+        for i in range(self.n_samples):
+            total = sum(
+                energy * carbon_at(region)
+                for region, energy in self.exec_energy[i].items()
+            )
+            for (src, dst), size in self.route_bytes[i].items():
+                route_intensity = (carbon_at(src) + carbon_at(dst)) / 2.0
+                total += self.carbon_model.transmission_carbon_g(
+                    route_intensity=route_intensity,
+                    size_bytes=size,
+                    intra_region=(src == dst),
+                )
+            out[i] = total
+        return out
+
+    def estimate_at(self, carbon_at: Callable[[str], float]) -> WorkflowEstimate:
+        """Full :class:`WorkflowEstimate` under the given intensities."""
+        carbon = self.carbon_samples(carbon_at)
+        exec_only = np.array(
+            [
+                sum(
+                    energy * carbon_at(region)
+                    for region, energy in self.exec_energy[i].items()
+                )
+                for i in range(self.n_samples)
+            ]
+        )
+        return WorkflowEstimate(
+            mean_latency_s=float(self.latencies.mean()),
+            tail_latency_s=float(np.percentile(self.latencies, 95)),
+            mean_cost_usd=float(self.costs.mean()),
+            tail_cost_usd=float(np.percentile(self.costs, 95)),
+            mean_carbon_g=float(carbon.mean()),
+            tail_carbon_g=float(np.percentile(carbon, 95)),
+            mean_exec_carbon_g=float(exec_only.mean()),
+            mean_trans_carbon_g=float((carbon - exec_only).mean()),
+            n_samples=self.n_samples,
+        )
+
+
+class MonteCarloEstimator:
+    """Estimates end-to-end workflow metrics for a deployment plan."""
+
+    def __init__(
+        self,
+        dag: WorkflowDAG,
+        data: WorkflowModelData,
+        carbon_model: CarbonModel,
+        cost_model: CostModel,
+        latency_model: TransferLatencyModel,
+        rng: np.random.Generator,
+        kv_region: Optional[str] = None,
+        batch_size: int = BATCH_SIZE,
+        max_samples: int = MAX_SAMPLES,
+        cov_threshold: float = COV_THRESHOLD,
+    ):
+        """Args:
+        dag: The workflow structure.
+        data: Learned behaviour (distributions, probabilities).
+        carbon_model / cost_model / latency_model: Pricing models.
+        rng: Random stream (callers pass a solver-owned stream).
+        kv_region: Region hosting the distributed KV store; sync-node
+            intermediate data is relayed through it (§4 / Fig. 5).
+            Defaults to the plan's start-node region per evaluation.
+        batch_size / max_samples / cov_threshold: Stopping rule knobs
+            (paper defaults: 200 / 2000 / 0.05).
+        """
+        self._dag = dag
+        self._data = data
+        self._carbon = carbon_model
+        self._cost = cost_model
+        self._latency = latency_model
+        self._rng = rng
+        self._kv_region = kv_region
+        self._batch = batch_size
+        self._max = max_samples
+        self._cov = cov_threshold
+        self._order = dag.topological_order()
+
+    def estimate(
+        self,
+        plan: DeploymentPlan,
+        carbon_at: Callable[[str], float],
+    ) -> WorkflowEstimate:
+        """Run simulations until the stopping rule fires.
+
+        Args:
+            plan: Candidate deployment plan covering every DAG node.
+            carbon_at: ``region -> gCO2eq/kWh`` at the hour under
+                evaluation (actual or forecast intensity).
+        """
+        if not plan.covers(self._dag):
+            missing = set(self._dag.node_names) - set(plan.assignments)
+            raise ValueError(f"plan does not cover nodes: {sorted(missing)}")
+
+        return self.estimate_profile(plan).estimate_at(carbon_at)
+
+    def estimate_profile(self, plan: DeploymentPlan) -> PlanProfile:
+        """Run the Monte-Carlo simulation collecting an hour-independent
+        :class:`PlanProfile` (see its docstring).  The stopping rule is
+        applied to the latency and cost estimators, since carbon is a
+        deterministic re-pricing of the collected energy/byte vectors.
+        """
+        if not plan.covers(self._dag):
+            missing = set(self._dag.node_names) - set(plan.assignments)
+            raise ValueError(f"plan does not cover nodes: {sorted(missing)}")
+
+        latencies: List[float] = []
+        costs: List[float] = []
+        energies: List[Dict[str, float]] = []
+        routes: List[Dict[Tuple[str, str], float]] = []
+
+        while len(latencies) < self._max:
+            for _ in range(self._batch):
+                lat, cost, energy, route = self._simulate_once(plan)
+                latencies.append(lat)
+                costs.append(cost)
+                energies.append(energy)
+                routes.append(route)
+            if self._converged(latencies, costs):
+                break
+
+        return PlanProfile(
+            latencies=np.asarray(latencies),
+            costs=np.asarray(costs),
+            exec_energy=energies,
+            route_bytes=routes,
+            carbon_model=self._carbon,
+        )
+
+    # -- internals -----------------------------------------------------------
+    def _converged(self, *series: List[float]) -> bool:
+        for values in series:
+            arr = np.asarray(values)
+            mean = arr.mean()
+            if mean <= 0:
+                continue
+            rel_stderr = arr.std(ddof=1) / math.sqrt(len(arr)) / mean
+            if rel_stderr >= self._cov:
+                return False
+        return True
+
+    def _simulate_once(
+        self, plan: DeploymentPlan
+    ) -> Tuple[float, float, Dict[str, float], Dict[Tuple[str, str], float]]:
+        """One simulation: returns (latency_s, cost_usd, {region: kWh},
+        {(src_region, dst_region): bytes})."""
+        dag = self._dag
+        rng = self._rng
+        kv_region = self._kv_region or plan.region_of(dag.start_node)
+
+        # 1. Realise the conditional edges.
+        edge_taken: Dict[Tuple[str, str], bool] = {}
+        for edge in dag.edges:
+            if edge.conditional:
+                p = self._data.edge_probability(edge.src, edge.dst)
+                edge_taken[(edge.src, edge.dst)] = bool(rng.random() < p)
+            else:
+                edge_taken[(edge.src, edge.dst)] = True
+
+        # 2. Walk in topological order computing per-node finish times.
+        executed: Dict[str, bool] = {}
+        finish: Dict[str, float] = {}
+        cost = 0.0
+        energy: Dict[str, float] = {}
+        route_bytes: Dict[Tuple[str, str], float] = {}
+
+        def add_transfer(src: str, dst: str, size: float) -> None:
+            route_bytes[(src, dst)] = route_bytes.get((src, dst), 0.0) + size
+
+        home = self._kv_region if self._kv_region else plan.region_of(dag.start_node)
+        for node in self._order:
+            in_edges = dag.in_edges(node)
+            if not in_edges:
+                executed[node] = True
+                # The end-user input arrives from the client near the
+                # home region (§6.2); a shifted start node pays for it.
+                start_region = plan.region_of(node)
+                input_size = float(self._data.input_size_dist().sample(rng))
+                arrival = self._latency.estimate(home, start_region, input_size)
+                add_transfer(home, start_region, input_size)
+                cost += self._cost.transmission_cost(home, start_region, input_size)
+            else:
+                taken_from = [
+                    e
+                    for e in in_edges
+                    if executed.get(e.src, False) and edge_taken[(e.src, e.dst)]
+                ]
+                if not taken_from:
+                    executed[node] = False
+                    continue
+                executed[node] = True
+                is_sync = dag.is_sync_node(node)
+                arrival = 0.0
+                for e in taken_from:
+                    src_region = plan.region_of(e.src)
+                    dst_region = plan.region_of(node)
+                    size = float(
+                        self._data.edge_size_dist(e.src, e.dst).sample(rng)
+                    )
+                    if is_sync:
+                        # Fan-in data is relayed through the KV store
+                        # (Fig. 5): src -> KV region -> sync node.
+                        hop1 = self._latency.estimate(src_region, kv_region, size)
+                        hop2 = self._latency.estimate(kv_region, dst_region, size)
+                        edge_latency = hop1 + hop2
+                        add_transfer(src_region, kv_region, size)
+                        add_transfer(kv_region, dst_region, size)
+                        cost += self._cost.transmission_cost(
+                            src_region, kv_region, size
+                        )
+                        cost += self._cost.transmission_cost(
+                            kv_region, dst_region, size
+                        )
+                        # Annotation update + data write + data read.
+                        cost += self._cost.kv_cost(kv_region, n_reads=1, n_writes=2)
+                    else:
+                        edge_latency = self._latency.estimate(
+                            src_region, dst_region, size
+                        )
+                        add_transfer(src_region, dst_region, size)
+                        cost += self._cost.transmission_cost(
+                            src_region, dst_region, size
+                        )
+                    # One SNS publish per taken edge (§6.2).
+                    cost += self._cost.messaging_cost(dst_region)
+                    arrival = max(arrival, finish[e.src] + edge_latency)
+
+            region = plan.region_of(node)
+            duration = float(
+                self._data.execution_time_dist(node, region).sample(rng)
+            )
+            # Fixed external data reads follow the node when it moves
+            # (§9.1: external storage stays at the home region).
+            ext_region, ext_bytes = self._data.node_external_bytes(node)
+            if ext_region is not None and ext_bytes > 0:
+                duration += self._latency.estimate(ext_region, region, ext_bytes)
+                add_transfer(ext_region, region, ext_bytes)
+                cost += self._cost.transmission_cost(ext_region, region, ext_bytes)
+
+            finish[node] = arrival + duration
+            memory = self._data.node_memory_mb(node)
+            n_vcpu = self._data.node_vcpu(node)
+            util = self._data.node_cpu_utilization(node)
+            energy[region] = energy.get(region, 0.0) + (
+                self._carbon.execution_energy_kwh(
+                    duration_s=duration,
+                    memory_mb=memory,
+                    n_vcpu=n_vcpu,
+                    cpu_total_time_s=duration * n_vcpu * util,
+                )
+                * self._carbon.pue
+            )
+            cost += self._cost.execution_cost(region, duration, memory)
+            # Per-execution DP retrieval from the KV store (§6.2).
+            cost += self._cost.kv_cost(kv_region, n_reads=1)
+
+        latency = max(
+            (finish[n] for n in finish if executed.get(n, False)), default=0.0
+        )
+        return latency, cost, energy, route_bytes

@@ -1,0 +1,21 @@
+"""The workflow model (paper §4) and deployment-plan representation.
+
+A workflow is a DAG ``G = (N, E)`` with exactly one start node, optional
+conditional edges, and synchronisation (fan-in) nodes.  A deployment
+plan is a mapping ``psi: N -> R`` of nodes to regions; Caribou generates
+24 of them per solve, one per hour of the day (§5.1).
+"""
+
+from repro.model.config import FunctionConstraints, WorkflowConfig
+from repro.model.dag import Edge, Node, WorkflowDAG
+from repro.model.plan import DeploymentPlan, HourlyPlanSet
+
+__all__ = [
+    "Node",
+    "Edge",
+    "WorkflowDAG",
+    "DeploymentPlan",
+    "HourlyPlanSet",
+    "WorkflowConfig",
+    "FunctionConstraints",
+]

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.provider import SimulatedCloud
+from repro.model.dag import Edge, Node, WorkflowDAG
+
+
+@pytest.fixture
+def cloud() -> SimulatedCloud:
+    """A fresh four-region simulated cloud with a fixed seed."""
+    return SimulatedCloud(seed=42)
+
+
+@pytest.fixture
+def diamond_dag() -> WorkflowDAG:
+    """a -> {b, c} -> d with one conditional edge and d a sync node."""
+    dag = WorkflowDAG("diamond")
+    for name in ("a", "b", "c", "d"):
+        dag.add_node(Node(name=name, function=name))
+    dag.add_edge(Edge("a", "b"))
+    dag.add_edge(Edge("a", "c", conditional=True))
+    dag.add_edge(Edge("b", "d"))
+    dag.add_edge(Edge("c", "d"))
+    dag.validate()
+    return dag
+
+
+@pytest.fixture
+def chain_dag() -> WorkflowDAG:
+    """a -> b -> c, the simplest multi-stage shape."""
+    dag = WorkflowDAG("chain")
+    for name in ("a", "b", "c"):
+        dag.add_node(Node(name=name, function=name))
+    dag.add_edge(Edge("a", "b"))
+    dag.add_edge(Edge("b", "c"))
+    dag.validate()
+    return dag

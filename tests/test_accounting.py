@@ -1,0 +1,165 @@
+"""Tests for ledger record pricing (carbon/cost accounting)."""
+
+import pytest
+
+from repro.cloud.ledger import (
+    ExecutionRecord,
+    KvAccessRecord,
+    MessagingRecord,
+    MeteringLedger,
+    TransmissionRecord,
+)
+from repro.data.carbon import CarbonIntensitySource
+from repro.data.pricing import PricingSource
+from repro.metrics.accounting import CarbonAccountant
+from repro.metrics.carbon import CarbonModel, TransmissionScenario
+from repro.metrics.cost import CostModel
+
+
+@pytest.fixture
+def carbon_source():
+    # Flat 400 everywhere for predictable arithmetic.
+    flat = {zone: [400.0] * 24 for zone in
+            ("US-PJM", "US-CAISO", "US-BPA", "CA-QC", "CA-AB")}
+    return CarbonIntensitySource(hours=24, overrides=flat)
+
+
+@pytest.fixture
+def accountant(carbon_source):
+    return CarbonAccountant(
+        carbon_source,
+        CarbonModel(TransmissionScenario.best_case()),
+        CostModel(PricingSource()),
+    )
+
+
+def exec_rec(region="us-east-1", duration=3600.0, rid="r1"):
+    return ExecutionRecord(
+        workflow="wf", node="n", function="n", region=region, request_id=rid,
+        start_s=0.0, duration_s=duration, memory_mb=1769, n_vcpu=1.0,
+        cpu_total_time_s=duration, cold_start=False, payload_bytes=0,
+        output_bytes=0,
+    )
+
+
+def trans_rec(src="us-east-1", dst="ca-central-1", size=1024**3, rid="r1"):
+    return TransmissionRecord(
+        workflow="wf", src_region=src, dst_region=dst, size_bytes=size,
+        start_s=0.0, latency_s=0.1, request_id=rid, kind="data", edge="a->b",
+    )
+
+
+class TestSingleRecords:
+    def test_execution_carbon_matches_model(self, accountant):
+        carbon = accountant.execution_carbon_g(exec_rec())
+        # Full-util 1 vCPU + 1769 MB for 1 h at 400 g/kWh with PUE 1.11.
+        expected = 400.0 * (3.5e-3 + 3.725e-4 * 1769 / 1024) * 1.11
+        assert carbon == pytest.approx(expected)
+
+    def test_transmission_uses_route_mean(self, accountant, carbon_source):
+        carbon = accountant.transmission_carbon_g(trans_rec())
+        assert carbon == pytest.approx(400.0 * 0.001 * 1.0)
+
+    def test_scenario_swap(self, accountant):
+        worst = accountant.with_scenario(TransmissionScenario.worst_case())
+        intra = trans_rec(dst="us-east-1")
+        assert worst.transmission_carbon_g(intra) == 0.0
+        assert accountant.transmission_carbon_g(intra) > 0.0
+
+
+class TestAggregation:
+    def test_price_combines_components(self, accountant):
+        fp = accountant.price(
+            executions=[exec_rec()],
+            transmissions=[trans_rec()],
+            messages=[MessagingRecord(workflow="wf", topic="t",
+                                      region="us-east-1", start_s=0.0,
+                                      size_bytes=10, request_id="r1")],
+            kv_accesses=[KvAccessRecord(workflow="wf", table="t",
+                                        region="us-east-1", start_s=0.0,
+                                        write=True, request_id="r1")],
+        )
+        assert fp.carbon_g == pytest.approx(fp.exec_carbon_g + fp.trans_carbon_g)
+        assert fp.n_executions == 1
+        assert fp.n_transmissions == 1
+        assert fp.exec_seconds == 3600.0
+        assert fp.bytes_moved == 1024**3
+        assert fp.cost_usd > 0
+
+    def test_price_workflow_filters_request(self, accountant):
+        ledger = MeteringLedger()
+        ledger.record_execution(exec_rec(rid="r1"))
+        ledger.record_execution(exec_rec(rid="r2"))
+        fp = accountant.price_workflow(ledger, "wf", request_id="r1")
+        assert fp.n_executions == 1
+
+    def test_price_workflow_time_window(self, accountant):
+        ledger = MeteringLedger()
+        early = exec_rec(rid="r1")
+        ledger.record_execution(early)
+        late = ExecutionRecord(
+            workflow="wf", node="n", function="n", region="us-east-1",
+            request_id="r2", start_s=5000.0, duration_s=1.0, memory_mb=1769,
+            n_vcpu=1.0, cpu_total_time_s=1.0, cold_start=False,
+            payload_bytes=0, output_bytes=0,
+        )
+        ledger.record_execution(late)
+        fp = accountant.price_workflow(ledger, "wf", since_s=1000.0)
+        assert fp.n_executions == 1
+
+    def test_merged(self, accountant):
+        fp1 = accountant.price(executions=[exec_rec()])
+        fp2 = accountant.price(transmissions=[trans_rec()])
+        merged = fp1.merged(fp2)
+        assert merged.carbon_g == pytest.approx(fp1.carbon_g + fp2.carbon_g)
+        assert merged.n_executions == 1
+        assert merged.n_transmissions == 1
+
+    def test_cost_optional(self, carbon_source):
+        acc = CarbonAccountant(
+            carbon_source, CarbonModel(TransmissionScenario.best_case())
+        )
+        fp = acc.price(executions=[exec_rec()])
+        assert fp.cost_usd == 0.0
+        assert fp.carbon_g > 0.0
+
+
+class TestPriceByRequest:
+    def test_groups_match_per_request_pricing(self, accountant):
+        ledger = MeteringLedger()
+        for rid in ("r1", "r2"):
+            ledger.record_execution(exec_rec(rid=rid))
+            ledger.record_transmission(trans_rec(rid=rid))
+            ledger.record_message(MessagingRecord(
+                workflow="wf", topic="t", region="us-east-1", start_s=0.0,
+                size_bytes=10, request_id=rid,
+            ))
+        grouped = accountant.price_by_request(ledger, "wf")
+        assert set(grouped) == {"r1", "r2"}
+        for rid, fp in grouped.items():
+            direct = accountant.price_workflow(ledger, "wf", rid)
+            assert fp.carbon_g == pytest.approx(direct.carbon_g)
+            assert fp.cost_usd == pytest.approx(direct.cost_usd)
+            assert fp.n_executions == direct.n_executions
+
+    def test_window_filter(self, accountant):
+        ledger = MeteringLedger()
+        ledger.record_execution(exec_rec(rid="early"))
+        late = ExecutionRecord(
+            workflow="wf", node="n", function="n", region="us-east-1",
+            request_id="late", start_s=9999.0, duration_s=1.0, memory_mb=1769,
+            n_vcpu=1.0, cpu_total_time_s=1.0, cold_start=False,
+            payload_bytes=0, output_bytes=0,
+        )
+        ledger.record_execution(late)
+        grouped = accountant.price_by_request(ledger, "wf", since_s=5000.0)
+        assert set(grouped) == {"late"}
+
+    def test_anonymous_records_dropped(self, accountant):
+        ledger = MeteringLedger()
+        ledger.record_transmission(TransmissionRecord(
+            workflow="wf", src_region="us-east-1", dst_region="us-west-1",
+            size_bytes=10, start_s=0.0, latency_s=0.1, request_id="",
+            kind="image", edge="crane:x",
+        ))
+        assert accountant.price_by_request(ledger, "wf") == {}

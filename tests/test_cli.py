@@ -1,0 +1,71 @@
+"""Tests for the CLI (deployment utility command line, §6.1/§8)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "dna_visualization"])
+        assert args.size == "small"
+        assert args.invocations == 20
+        assert args.coarse is None
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "x", "--size", "huge"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dna_visualization", "video_analytics",
+                     "text2speech_censoring"):
+            assert name in out
+
+    def test_deploy(self, capsys):
+        assert main(["deploy", "rag_ingestion"]) == 0
+        out = capsys.readouterr().out
+        assert "deployed 'rag_ingestion'" in out
+        assert "extract_metadata" in out
+
+    def test_deploy_unknown_app(self):
+        with pytest.raises(KeyError):
+            main(["deploy", "ghost_app"])
+
+    def test_run_coarse(self, capsys):
+        assert main(["run", "dna_visualization", "-n", "4",
+                     "--coarse", "ca-central-1"]) == 0
+        out = capsys.readouterr().out
+        assert "coarse:ca-central-1" in out
+        assert "mgCO2eq/inv" in out
+
+    def test_run_caribou(self, capsys):
+        assert main(["run", "rag_ingestion", "-n", "4",
+                     "--regions", "us-east-1,ca-central-1"]) == 0
+        out = capsys.readouterr().out
+        assert "caribou:" in out
+        assert "regions used" in out
+
+    def test_solve_prints_plan(self, capsys):
+        assert main(["solve", "rag_ingestion",
+                     "--regions", "us-east-1,ca-central-1"]) == 0
+        out = capsys.readouterr().out
+        assert "24-hour plan set" in out
+        assert "->" in out
+
+    def test_carbon_table(self, capsys):
+        assert main(["carbon", "--hours", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "us-east-1" in out
+        assert len(out.strip().splitlines()) == 4  # header + 3 hours

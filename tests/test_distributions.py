@@ -1,0 +1,73 @@
+"""Tests for empirical distributions."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.distributions import EmpiricalDistribution
+
+
+class TestEmpiricalDistribution:
+    def test_basic_stats(self):
+        dist = EmpiricalDistribution([1.0, 2.0, 3.0, 4.0])
+        assert dist.mean() == pytest.approx(2.5)
+        assert dist.min() == 1.0
+        assert dist.max() == 4.0
+        assert len(dist) == 4
+
+    def test_percentiles(self):
+        dist = EmpiricalDistribution(range(1, 101))
+        assert dist.percentile(50) == pytest.approx(50.5)
+        assert dist.p95() == pytest.approx(95.05)
+
+    def test_percentile_bounds(self):
+        dist = EmpiricalDistribution([1.0])
+        with pytest.raises(ValueError):
+            dist.percentile(101)
+
+    def test_empty_queries_raise(self):
+        dist = EmpiricalDistribution()
+        assert not dist
+        with pytest.raises(ValueError):
+            dist.mean()
+        with pytest.raises(ValueError):
+            dist.sample(np.random.default_rng(0))
+
+    def test_non_finite_rejected(self):
+        dist = EmpiricalDistribution()
+        with pytest.raises(ValueError):
+            dist.add(float("nan"))
+        with pytest.raises(ValueError):
+            dist.add(float("inf"))
+
+    def test_sliding_window_caps_samples(self):
+        dist = EmpiricalDistribution(max_samples=3)
+        dist.extend([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert list(dist.samples) == [3.0, 4.0, 5.0]
+
+    def test_sampling_draws_from_observations(self):
+        dist = EmpiricalDistribution([10.0, 20.0])
+        rng = np.random.default_rng(0)
+        draws = dist.sample(rng, size=100)
+        assert set(np.unique(draws)) <= {10.0, 20.0}
+
+    def test_single_sample_draw(self):
+        dist = EmpiricalDistribution([7.0])
+        assert dist.sample(np.random.default_rng(0)) == 7.0
+
+    def test_scaled(self):
+        dist = EmpiricalDistribution([1.0, 2.0])
+        scaled = dist.scaled(2.0)
+        assert list(scaled.samples) == [2.0, 4.0]
+        assert list(dist.samples) == [1.0, 2.0]  # original untouched
+        with pytest.raises(ValueError):
+            dist.scaled(0.0)
+
+    def test_merged(self):
+        a = EmpiricalDistribution([1.0])
+        b = EmpiricalDistribution([2.0])
+        merged = a.merged_with(b)
+        assert sorted(merged.samples) == [1.0, 2.0]
+
+    def test_invalid_max_samples(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution(max_samples=0)

@@ -1,0 +1,292 @@
+"""Tests for the cross-regional execution runtime (§6.2)."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.cloud.provider import SimulatedCloud
+from repro.core.api import Payload, Workflow
+from repro.core.deployer import DeploymentUtility
+from repro.core.executor import (
+    annotation_class_edges,
+    message_size,
+    propagate_dead,
+    sync_condition_met,
+)
+from repro.experiments.harness import deploy_benchmark
+from repro.model.config import WorkflowConfig
+from repro.model.dag import Edge, Node, WorkflowDAG
+from repro.model.plan import DeploymentPlan, HourlyPlanSet
+
+
+@pytest.fixture
+def t2s_deployment():
+    cloud = SimulatedCloud(seed=11)
+    app = get_app("text2speech_censoring")
+    deployed, executor, utility = deploy_benchmark(app, cloud)
+    return cloud, app, deployed, executor, utility
+
+
+class TestInvocation:
+    def test_all_nodes_execute_home(self, t2s_deployment):
+        cloud, app, deployed, executor, _ = t2s_deployment
+        rid = executor.invoke(app.make_input("small"), force_home=True)
+        cloud.run_until_idle()
+        nodes = {e.node for e in cloud.ledger.executions_for(deployed.name, rid)}
+        assert nodes == set(deployed.dag.node_names)
+
+    def test_each_node_runs_exactly_once(self, t2s_deployment):
+        cloud, app, deployed, executor, _ = t2s_deployment
+        rid = executor.invoke(app.make_input("small"), force_home=True)
+        cloud.run_until_idle()
+        execs = cloud.ledger.executions_for(deployed.name, rid)
+        assert len(execs) == len(deployed.dag)
+
+    def test_sync_node_runs_after_predecessors(self, t2s_deployment):
+        cloud, app, deployed, executor, _ = t2s_deployment
+        rid = executor.invoke(app.make_input("small"), force_home=True)
+        cloud.run_until_idle()
+        execs = {e.node: e for e in cloud.ledger.executions_for(deployed.name, rid)}
+        assert execs["censoring"].start_s >= execs["conversion"].end_s
+        assert execs["censoring"].start_s >= execs["profanity_detection"].end_s
+
+    def test_conditional_false_still_fires_sync(self, t2s_deployment):
+        cloud, app, deployed, executor, _ = t2s_deployment
+        from repro.apps.text2speech import make_input
+
+        rid = executor.invoke(make_input("small", with_profanity=False),
+                              force_home=True)
+        cloud.run_until_idle()
+        nodes = {e.node for e in cloud.ledger.executions_for(deployed.name, rid)}
+        assert "censoring" in nodes  # Eq. 4.1: fires on the taken edge alone
+
+    def test_plan_routing_across_regions(self, t2s_deployment):
+        cloud, app, deployed, executor, utility = t2s_deployment
+        # Deploy profanity detection to ca-central-1 and route it there.
+        spec = deployed.workflow.function("profanity_detection")
+        utility.deploy_function(deployed, executor, spec, "ca-central-1",
+                                copy_image_from="us-east-1")
+        assignments = {n: "us-east-1" for n in deployed.dag.node_names}
+        assignments["profanity_detection"] = "ca-central-1"
+        plan = DeploymentPlan(assignments)
+        rid = executor.invoke(app.make_input("small"), plan=plan)
+        cloud.run_until_idle()
+        execs = {e.node: e.region
+                 for e in cloud.ledger.executions_for(deployed.name, rid)}
+        assert execs["profanity_detection"] == "ca-central-1"
+        assert execs["upload"] == "us-east-1"
+
+    def test_missing_deployment_falls_back_home(self, t2s_deployment):
+        cloud, app, deployed, executor, _ = t2s_deployment
+        # Plan routes to a region with no deployment/topic (§6.1 fallback).
+        assignments = {n: "us-east-1" for n in deployed.dag.node_names}
+        assignments["conversion"] = "us-west-2"
+        rid = executor.invoke(app.make_input("small"),
+                              plan=DeploymentPlan(assignments))
+        cloud.run_until_idle()
+        execs = {e.node: e.region
+                 for e in cloud.ledger.executions_for(deployed.name, rid)}
+        assert execs["conversion"] == "us-east-1"
+
+    def test_benchmarking_fraction_routes_home(self):
+        cloud = SimulatedCloud(seed=5)
+        app = get_app("dna_visualization")
+        deployed, executor, utility = deploy_benchmark(
+            app, cloud, benchmarking_fraction=1.0
+        )
+        # Even with a staged remote plan, every invocation goes home.
+        spec = deployed.workflow.function("visualize")
+        utility.deploy_function(deployed, executor, spec, "ca-central-1",
+                                copy_image_from="us-east-1")
+        executor.stage_plan_set(HourlyPlanSet.daily(
+            DeploymentPlan.single_region(deployed.dag, "ca-central-1")
+        ))
+        rid = executor.invoke(app.make_input("small"))
+        cloud.run_until_idle()
+        execs = cloud.ledger.executions_for(deployed.name, rid)
+        assert all(e.region == "us-east-1" for e in execs)
+
+    def test_expired_plan_falls_back_home(self):
+        cloud = SimulatedCloud(seed=6)
+        app = get_app("dna_visualization")
+        deployed, executor, utility = deploy_benchmark(app, cloud)
+        spec = deployed.workflow.function("visualize")
+        utility.deploy_function(deployed, executor, spec, "ca-central-1",
+                                copy_image_from="us-east-1")
+        executor.stage_plan_set(HourlyPlanSet.daily(
+            DeploymentPlan.single_region(deployed.dag, "ca-central-1"),
+            expires_at_s=100.0,
+        ))
+        cloud.env.clock.advance(200.0)
+        plan = executor.fetch_active_plan()
+        assert plan.regions_used == ("us-east-1",)
+
+    def test_service_time_positive_and_ordered(self, t2s_deployment):
+        cloud, app, deployed, executor, _ = t2s_deployment
+        rid = executor.invoke(app.make_input("small"), force_home=True)
+        cloud.run_until_idle()
+        assert cloud.ledger.service_time(deployed.name, rid) > 0
+
+    def test_edge_transfers_labelled_for_learning(self, t2s_deployment):
+        cloud, app, deployed, executor, _ = t2s_deployment
+        rid = executor.invoke(app.make_input("small"), force_home=True)
+        cloud.run_until_idle()
+        edges = {r.edge for r in cloud.ledger.transmissions_for(deployed.name, rid)}
+        assert "upload->text2speech" in edges
+        assert "text2speech->conversion" in edges
+        # Sync edges are labelled too (the src->kv hop).
+        assert "conversion->censoring" in edges
+
+
+class TestFanOut:
+    def test_image_processing_all_transforms_run(self):
+        cloud = SimulatedCloud(seed=8)
+        app = get_app("image_processing")
+        deployed, executor, _ = deploy_benchmark(app, cloud)
+        rid = executor.invoke(app.make_input("small"), force_home=True)
+        cloud.run_until_idle()
+        nodes = {e.node for e in cloud.ledger.executions_for(deployed.name, rid)}
+        assert {f"transform:{i}" for i in range(5)} <= nodes
+        assert "collect" in nodes
+
+    def test_collect_receives_all_payloads(self):
+        cloud = SimulatedCloud(seed=8)
+        app = get_app("image_processing")
+        deployed, executor, _ = deploy_benchmark(app, cloud)
+        rid = executor.invoke(app.make_input("small"), force_home=True)
+        cloud.run_until_idle()
+        # The sync store held 5 intermediate payloads for collect.
+        stored, _ = deployed.kv().get(deployed.data_table, f"{rid}:collect")
+        assert len(stored) == 5
+
+    def test_partial_fanout_still_joins(self):
+        # A fan-out smaller than max_instances leaves unreached stages;
+        # implicit skips must still release the sync node.
+        workflow = Workflow("partial")
+
+        @workflow.serverless_function(name="a", entry_point=True)
+        def a(event):
+            for i in range(int(event["n"])):
+                workflow.invoke_serverless_function(Payload(content=i), w)
+
+        @workflow.serverless_function(name="w", max_instances=4)
+        def w(event):
+            workflow.invoke_serverless_function(Payload(content=event), j)
+
+        @workflow.serverless_function(name="j")
+        def j(event):
+            workflow.get_predecessor_data()
+
+        cloud = SimulatedCloud(seed=9)
+        utility = DeploymentUtility(cloud)
+        deployed, executor = utility.deploy(
+            workflow, WorkflowConfig(home_region="us-east-1",
+                                     benchmarking_fraction=0.0)
+        )
+        rid = executor.invoke(Payload(content={"n": 2}), force_home=True)
+        cloud.run_until_idle()
+        execs = {e.node for e in cloud.ledger.executions_for("partial", rid)}
+        assert execs == {"a", "w:0", "w:1", "j"}
+        assert not cloud.pubsub.dead_letters
+
+    def test_overflow_fanout_raises(self):
+        workflow = Workflow("overflow")
+
+        @workflow.serverless_function(name="a", entry_point=True)
+        def a(event):
+            for i in range(5):
+                workflow.invoke_serverless_function(Payload(content=i), w)
+
+        @workflow.serverless_function(name="w", max_instances=2)
+        def w(event):
+            pass
+
+        cloud = SimulatedCloud(seed=9)
+        utility = DeploymentUtility(cloud)
+        deployed, executor = utility.deploy(
+            workflow, WorkflowConfig(home_region="us-east-1",
+                                     benchmarking_fraction=0.0)
+        )
+        executor.invoke(Payload(content=None), force_home=True)
+        cloud.run_until_idle()
+        # The wrapper raised inside delivery -> message dead-lettered.
+        assert cloud.pubsub.dead_letters
+
+
+class TestSkipPropagationHelpers:
+    def build_deep_dag(self):
+        # a -> b(cond) -> c -> s ; a -> d -> s  (s = sync)
+        dag = WorkflowDAG("deep")
+        for n in ("a", "b", "c", "d", "s"):
+            dag.add_node(Node(n, n))
+        dag.add_edge(Edge("a", "b", conditional=True))
+        dag.add_edge(Edge("b", "c"))
+        dag.add_edge(Edge("c", "s"))
+        dag.add_edge(Edge("a", "d"))
+        dag.add_edge(Edge("d", "s"))
+        dag.validate()
+        return dag
+
+    def test_annotation_class_covers_upstream_of_sync(self):
+        dag = self.build_deep_dag()
+        edges = annotation_class_edges(dag)
+        assert ("a", "b") in edges  # b leads to sync s
+        assert ("c", "s") in edges
+        assert ("d", "s") in edges
+
+    def test_transitive_dead_propagation(self):
+        dag = self.build_deep_dag()
+        edges = annotation_class_edges(dag)
+        ann = {"a->b": 0}  # conditional edge not taken
+        propagate_dead(dag, edges, ann, dag.topological_order())
+        # b dead -> c dead -> edge c->s annotated 0.
+        assert ann["b->c"] == 0
+        assert ann["c->s"] == 0
+
+    def test_condition_requires_all_resolved(self):
+        dag = self.build_deep_dag()
+        assert not sync_condition_met(dag, {"d->s": 1}, "s")
+        assert sync_condition_met(dag, {"d->s": 1, "c->s": 0}, "s")
+        assert not sync_condition_met(dag, {"d->s": 0, "c->s": 0}, "s")
+
+    def test_deep_skip_end_to_end(self):
+        """A conditional skip two hops above a sync node releases it."""
+        workflow = Workflow("deepskip")
+
+        @workflow.serverless_function(name="a", entry_point=True)
+        def a(event):
+            workflow.invoke_serverless_function(Payload(content=1), b, False)
+            workflow.invoke_serverless_function(Payload(content=2), d)
+
+        @workflow.serverless_function(name="b")
+        def b(event):
+            workflow.invoke_serverless_function(Payload(content=3), c)
+
+        @workflow.serverless_function(name="c")
+        def c(event):
+            workflow.invoke_serverless_function(Payload(content=4), s)
+
+        @workflow.serverless_function(name="d")
+        def d(event):
+            workflow.invoke_serverless_function(Payload(content=5), s)
+
+        @workflow.serverless_function(name="s")
+        def s(event):
+            workflow.get_predecessor_data()
+
+        cloud = SimulatedCloud(seed=10)
+        utility = DeploymentUtility(cloud)
+        deployed, executor = utility.deploy(
+            workflow, WorkflowConfig(home_region="us-east-1",
+                                     benchmarking_fraction=0.0)
+        )
+        rid = executor.invoke(Payload(content=None), force_home=True)
+        cloud.run_until_idle()
+        execs = {e.node for e in cloud.ledger.executions_for("deepskip", rid)}
+        assert execs == {"a", "d", "s"}  # b and c skipped, s still fired
+        assert not cloud.pubsub.dead_letters
+
+
+class TestMessageSize:
+    def test_grows_with_plan_entries(self):
+        assert message_size(1000, 10) > message_size(1000, 2)
+        assert message_size(0, 1) > 0

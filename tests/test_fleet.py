@@ -1,0 +1,117 @@
+"""Tests for fleet-level management of multiple workflows."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.cloud.provider import SimulatedCloud
+from repro.common.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.core.deployer import DeploymentUtility
+from repro.core.fleet import FleetManager
+from repro.core.solver import SolverSettings
+from repro.core.trigger import TriggerSettings
+from repro.experiments.harness import deploy_benchmark
+from repro.metrics.carbon import TransmissionScenario
+
+FAST = SolverSettings(batch_size=30, max_samples=60, cov_threshold=0.2,
+                      alpha_per_node_region=2)
+
+
+@pytest.fixture
+def fleet():
+    cloud = SimulatedCloud(seed=90)
+    utility = DeploymentUtility(cloud)
+    manager = FleetManager(
+        cloud, utility, TransmissionScenario.best_case(),
+        solver_settings=FAST,
+        trigger_settings=TriggerSettings(
+            min_check_period_s=2 * SECONDS_PER_HOUR,
+            max_check_period_s=12 * SECONDS_PER_HOUR,
+        ),
+        use_forecast=False,
+    )
+    entries = {}
+    for app_name in ("dna_visualization", "rag_ingestion"):
+        app = get_app(app_name)
+        deployed, executor = utility.deploy(
+            app.build_workflow(),
+            # fresh config per workflow
+            __import__("repro.apps.base", fromlist=["default_config"])
+            .default_config(benchmarking_fraction=0.0),
+        )
+        manager.register(deployed, executor)
+        entries[app_name] = (app, deployed, executor)
+    return cloud, manager, entries
+
+
+class TestRegistry:
+    def test_workflows_listed(self, fleet):
+        _cloud, manager, _entries = fleet
+        assert set(manager.workflows) == {"dna_visualization", "rag_ingestion"}
+
+    def test_duplicate_registration_rejected(self, fleet):
+        cloud, manager, entries = fleet
+        _app, deployed, executor = entries["dna_visualization"]
+        with pytest.raises(ValueError, match="already managed"):
+            manager.register(deployed, executor)
+
+    def test_manager_lookup(self, fleet):
+        _cloud, manager, _entries = fleet
+        assert manager.manager_for("rag_ingestion") is not None
+        with pytest.raises(KeyError):
+            manager.manager_for("ghost")
+
+    def test_unregister(self, fleet):
+        _cloud, manager, _entries = fleet
+        manager.unregister("rag_ingestion")
+        assert manager.workflows == ("dna_visualization",)
+
+
+class TestOperation:
+    def test_check_all_produces_one_report_each(self, fleet):
+        cloud, manager, entries = fleet
+        reports = manager.check_all()
+        assert set(reports) == set(manager.workflows)
+        for report in reports.values():
+            assert report.next_check_delay_s > 0
+
+    def test_independent_cadences(self, fleet):
+        cloud, manager, entries = fleet
+        # Only one workflow receives traffic.
+        app, _deployed, executor = entries["rag_ingestion"]
+        for i in range(10):
+            cloud.env.schedule(
+                i * 60.0, lambda: executor.invoke(app.make_input("small"),
+                                                  force_home=True)
+            )
+        cloud.run_until_idle()
+        reports = manager.check_all()
+        busy = reports["rag_ingestion"]
+        idle = reports["dna_visualization"]
+        assert busy.invocations_in_period == 10
+        assert idle.invocations_in_period == 0
+        # The busy workflow is checked at least as often as the idle one.
+        assert busy.next_check_delay_s <= idle.next_check_delay_s
+
+    def test_run_for_drives_both_loops(self, fleet):
+        cloud, manager, entries = fleet
+        for name, (app, _d, executor) in entries.items():
+            for i in range(6):
+                cloud.env.schedule(
+                    i * 600.0,
+                    lambda a=app, e=executor: e.invoke(a.make_input("small"),
+                                                       force_home=True),
+                )
+        manager.run_for(SECONDS_PER_DAY)
+        cloud.run_until_idle()
+        for name, checks, _solves, _tokens in manager.summary():
+            assert checks >= 2, name
+
+    def test_staggered_first_checks(self, fleet):
+        cloud, manager, entries = fleet
+        manager.run_for(4 * SECONDS_PER_HOUR, stagger_s=120.0)
+        cloud.run_until_idle()
+        first_times = [
+            m.reports[0].time_s
+            for m in (manager.manager_for(n) for n in manager.workflows)
+        ]
+        assert len(set(round(t, 3) for t in first_times)) == len(first_times)

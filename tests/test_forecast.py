@@ -1,0 +1,103 @@
+"""Tests for Holt-Winters carbon forecasting (§7.2)."""
+
+import numpy as np
+import pytest
+
+from repro.data.carbon import generate_carbon_trace
+from repro.metrics.forecast import (
+    HoltWintersForecaster,
+    HoltWintersParams,
+    mape,
+)
+
+
+class TestParams:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            HoltWintersParams(alpha=0.0, beta=0.1, gamma=0.1)
+        with pytest.raises(ValueError):
+            HoltWintersParams(alpha=0.5, beta=1.0, gamma=0.1)
+        HoltWintersParams(alpha=0.5, beta=0.1, gamma=0.3)  # valid
+
+
+class TestForecaster:
+    def test_requires_two_seasons(self):
+        with pytest.raises(ValueError, match="at least"):
+            HoltWintersForecaster().fit([1.0] * 47)
+
+    def test_rejects_nan(self):
+        series = [1.0] * 48
+        series[10] = float("nan")
+        with pytest.raises(ValueError):
+            HoltWintersForecaster().fit(series)
+
+    def test_forecast_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            HoltWintersForecaster().forecast(5)
+
+    def test_invalid_horizon(self):
+        f = HoltWintersForecaster().fit(list(range(48)))
+        with pytest.raises(ValueError):
+            f.forecast(0)
+
+    def test_constant_series_forecast_constant(self):
+        f = HoltWintersForecaster().fit([100.0] * (24 * 7))
+        pred = f.forecast(24)
+        assert np.allclose(pred, 100.0, atol=1.0)
+
+    def test_learns_pure_sinusoid(self):
+        t = np.arange(24 * 7)
+        series = 300 + 50 * np.sin(2 * np.pi * t / 24)
+        f = HoltWintersForecaster().fit(series)
+        future = 300 + 50 * np.sin(2 * np.pi * np.arange(24 * 7, 24 * 8) / 24)
+        pred = f.forecast(24)
+        assert mape(future, pred) < 0.05
+
+    def test_learns_trend(self):
+        t = np.arange(24 * 7)
+        series = 100 + 0.5 * t + 10 * np.sin(2 * np.pi * t / 24)
+        f = HoltWintersForecaster().fit(series)
+        pred = f.forecast(24)
+        future_mean = 100 + 0.5 * (24 * 7 + 12)
+        assert abs(pred.mean() - future_mean) < 15
+
+    def test_non_negative_forecasts(self):
+        # A falling trend must not forecast negative carbon intensity.
+        t = np.arange(24 * 7)
+        series = np.maximum(5.0, 100 - 0.5 * t)
+        pred = HoltWintersForecaster().fit(series).forecast(24 * 3)
+        assert np.all(pred >= 0)
+
+    def test_reasonable_on_synthetic_carbon(self):
+        # The §9.5/§9.7 use case: week of hourly data -> next day.
+        trace = generate_carbon_trace("US-CAISO", 24 * 8, seed=5)
+        f = HoltWintersForecaster().fit(trace[: 24 * 7])
+        pred = f.forecast(24)
+        assert mape(trace[24 * 7 :], pred) < 0.25
+
+    def test_explicit_params_skip_grid_search(self):
+        params = HoltWintersParams(alpha=0.3, beta=0.05, gamma=0.3)
+        f = HoltWintersForecaster(params=params).fit([float(i % 24) + 10 for i in range(96)])
+        assert f.fitted_params == params
+
+    def test_grid_search_selects_params(self):
+        f = HoltWintersForecaster().fit(
+            generate_carbon_trace("US-PJM", 24 * 7)
+        )
+        assert f.fitted_params is not None
+
+
+class TestMape:
+    def test_zero_for_perfect(self):
+        assert mape([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_value(self):
+        assert mape([100.0], [110.0]) == pytest.approx(0.1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mape([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mape([], [])

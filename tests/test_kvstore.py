@@ -1,0 +1,103 @@
+"""Tests for the distributed key-value store (DynamoDB substitute)."""
+
+import pytest
+
+from repro.common.errors import ConditionalCheckFailed, KeyValueStoreError
+
+
+@pytest.fixture
+def kv(cloud):
+    return cloud.kvstore("us-east-1")
+
+
+class TestBasicOps:
+    def test_put_get_roundtrip(self, kv):
+        kv.put("t", "k", {"a": 1})
+        value, _lat = kv.get("t", "k")
+        assert value == {"a": 1}
+
+    def test_get_missing_returns_default(self, kv):
+        value, _ = kv.get("t", "nope", default="fallback")
+        assert value == "fallback"
+
+    def test_values_are_isolated_copies(self, kv):
+        original = {"nested": [1, 2]}
+        kv.put("t", "k", original)
+        original["nested"].append(3)  # caller mutation must not leak in
+        value, _ = kv.get("t", "k")
+        assert value == {"nested": [1, 2]}
+        value["nested"].append(99)  # reader mutation must not leak back
+        again, _ = kv.get("t", "k")
+        assert again == {"nested": [1, 2]}
+
+    def test_delete(self, kv):
+        kv.put("t", "k", 1)
+        kv.delete("t", "k")
+        value, _ = kv.get("t", "k")
+        assert value is None
+
+    def test_scan(self, kv):
+        kv.put("t", "a", 1)
+        kv.put("t", "b", 2)
+        table, _ = kv.scan("t")
+        assert table == {"a": 1, "b": 2}
+
+
+class TestAtomicOps:
+    def test_update_applies_function(self, kv):
+        kv.put("t", "k", 10)
+        new, _ = kv.update("t", "k", lambda v: v + 5)
+        assert new == 15
+        assert kv.get("t", "k")[0] == 15
+
+    def test_update_with_default(self, kv):
+        new, _ = kv.update("t", "fresh", lambda v: (v or []) + ["x"])
+        assert new == ["x"]
+
+    def test_increment(self, kv):
+        assert kv.increment("t", "ctr")[0] == 1
+        assert kv.increment("t", "ctr", 2)[0] == 3
+
+    def test_increment_non_numeric_raises(self, kv):
+        kv.put("t", "k", "text")
+        with pytest.raises(KeyValueStoreError):
+            kv.increment("t", "k")
+
+    def test_conditional_put_succeeds_on_match(self, kv):
+        kv.put("t", "k", "v1")
+        kv.conditional_put("t", "k", expected="v1", value="v2")
+        assert kv.get("t", "k")[0] == "v2"
+
+    def test_conditional_put_fails_on_mismatch(self, kv):
+        kv.put("t", "k", "v1")
+        with pytest.raises(ConditionalCheckFailed):
+            kv.conditional_put("t", "k", expected="other", value="v2")
+        assert kv.get("t", "k")[0] == "v1"
+
+
+class TestLatencyAndMetering:
+    def test_local_access_is_base_latency(self, kv):
+        latency = kv.put("t", "k", 1, caller_region="us-east-1")
+        assert latency == pytest.approx(0.004)
+
+    def test_remote_access_pays_rtt(self, cloud):
+        kv = cloud.kvstore("us-east-1")
+        remote = kv.put("t", "k", 1, caller_region="us-west-1")
+        rtt = cloud.latency_source.rtt("us-west-1", "us-east-1")
+        assert remote == pytest.approx(0.004 + rtt)
+
+    def test_accesses_metered(self, cloud):
+        kv = cloud.kvstore("us-east-1")
+        kv.put("t", "k", 1, workflow="wf")
+        kv.get("t", "k", workflow="wf")
+        records = cloud.ledger.kv_accesses_for("wf")
+        assert len(records) == 2
+        assert [r.write for r in records] == [True, False]
+
+    def test_failed_cas_still_charges_write(self, cloud):
+        kv = cloud.kvstore("us-east-1")
+        kv.put("t", "k", "v1", workflow="wf")
+        with pytest.raises(ConditionalCheckFailed):
+            kv.conditional_put("t", "k", "wrong", "v2", workflow="wf")
+        writes = [r for r in cloud.ledger.kv_accesses_for("wf") if r.write]
+        assert len(writes) == 2

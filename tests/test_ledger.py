@@ -1,0 +1,74 @@
+"""Tests for the metering ledger."""
+
+import pytest
+
+from repro.cloud.ledger import (
+    ExecutionRecord,
+    MeteringLedger,
+    MessagingRecord,
+    TransmissionRecord,
+)
+
+
+def make_exec(workflow="wf", node="n", request_id="r1", start=0.0, duration=1.0,
+              region="us-east-1"):
+    return ExecutionRecord(
+        workflow=workflow, node=node, function=node, region=region,
+        request_id=request_id, start_s=start, duration_s=duration,
+        memory_mb=1769, n_vcpu=1.0, cpu_total_time_s=0.7, cold_start=False,
+        payload_bytes=0.0, output_bytes=0.0,
+    )
+
+
+class TestLedger:
+    def test_service_time_spans_first_to_last(self):
+        ledger = MeteringLedger()
+        ledger.record_execution(make_exec(node="a", start=1.0, duration=2.0))
+        ledger.record_execution(make_exec(node="b", start=4.0, duration=3.0))
+        # §9.1: first function start (1.0) to last function end (7.0).
+        assert ledger.service_time("wf", "r1") == pytest.approx(6.0)
+
+    def test_service_time_missing_request(self):
+        with pytest.raises(KeyError):
+            MeteringLedger().service_time("wf", "ghost")
+
+    def test_filter_by_workflow_and_request(self):
+        ledger = MeteringLedger()
+        ledger.record_execution(make_exec(workflow="wf1", request_id="r1"))
+        ledger.record_execution(make_exec(workflow="wf1", request_id="r2"))
+        ledger.record_execution(make_exec(workflow="wf2", request_id="r1"))
+        assert len(ledger.executions_for("wf1")) == 2
+        assert len(ledger.executions_for("wf1", "r1")) == 1
+        assert len(ledger.executions_for(None, "r1")) == 2
+
+    def test_request_ids_in_arrival_order(self):
+        ledger = MeteringLedger()
+        for rid in ("r3", "r1", "r3", "r2"):
+            ledger.record_execution(make_exec(request_id=rid))
+        assert ledger.request_ids("wf") == ["r3", "r1", "r2"]
+
+    def test_transmission_intra_flag(self):
+        rec = TransmissionRecord(
+            workflow="wf", src_region="us-east-1", dst_region="us-east-1",
+            size_bytes=10, start_s=0.0, latency_s=0.001,
+        )
+        assert rec.intra_region
+        rec2 = TransmissionRecord(
+            workflow="wf", src_region="us-east-1", dst_region="us-west-1",
+            size_bytes=10, start_s=0.0, latency_s=0.03,
+        )
+        assert not rec2.intra_region
+
+    def test_end_s_property(self):
+        rec = make_exec(start=2.0, duration=3.0)
+        assert rec.end_s == 5.0
+
+    def test_clear(self):
+        ledger = MeteringLedger()
+        ledger.record_execution(make_exec())
+        ledger.record_message(MessagingRecord(
+            workflow="wf", topic="t", region="us-east-1", start_s=0.0, size_bytes=1,
+        ))
+        ledger.clear()
+        assert not ledger.executions
+        assert not ledger.messages

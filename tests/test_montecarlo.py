@@ -1,0 +1,234 @@
+"""Tests for the Monte-Carlo end-to-end estimator (§7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.data.latency import LatencySource
+from repro.data.pricing import PricingSource
+from repro.metrics.carbon import CarbonModel, TransmissionScenario
+from repro.metrics.cost import CostModel
+from repro.metrics.distributions import EmpiricalDistribution
+from repro.metrics.latency import TransferLatencyModel
+from repro.metrics.montecarlo import MonteCarloEstimator
+from repro.model.plan import DeploymentPlan
+
+
+class FixtureData:
+    """Hand-built WorkflowModelData with controllable behaviour."""
+
+    def __init__(self, exec_seconds=1.0, edge_bytes=1e6, cond_prob=0.5,
+                 slow_region=None):
+        self.exec_seconds = exec_seconds
+        self.edge_bytes = edge_bytes
+        self.cond_prob = cond_prob
+        self.slow_region = slow_region
+
+    def execution_time_dist(self, node, region):
+        base = self.exec_seconds
+        if region == self.slow_region:
+            base *= 3.0
+        return EmpiricalDistribution([base, base * 1.1, base * 0.9])
+
+    def edge_probability(self, src, dst):
+        return self.cond_prob
+
+    def edge_size_dist(self, src, dst):
+        return EmpiricalDistribution([self.edge_bytes])
+
+    def node_memory_mb(self, node):
+        return 1769
+
+    def node_vcpu(self, node):
+        return 1.0
+
+    def node_cpu_utilization(self, node):
+        return 0.7
+
+    def node_external_bytes(self, node):
+        return None, 0.0
+
+    def input_size_dist(self):
+        return EmpiricalDistribution([0.0])
+
+
+def make_estimator(dag, data=None, scenario=None, seed=0, **kwargs):
+    return MonteCarloEstimator(
+        dag,
+        data or FixtureData(),
+        CarbonModel(scenario or TransmissionScenario.best_case()),
+        CostModel(PricingSource()),
+        TransferLatencyModel(LatencySource()),
+        np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+class TestStoppingRule:
+    def test_batch_multiple_samples(self, chain_dag):
+        est = make_estimator(chain_dag, batch_size=50, max_samples=500)
+        result = est.estimate(DeploymentPlan.single_region(chain_dag, "us-east-1"),
+                              lambda r: 400.0)
+        assert result.n_samples % 50 == 0
+        assert result.n_samples <= 500
+
+    def test_max_samples_cap(self, diamond_dag):
+        # A wildly bimodal conditional keeps the estimator uncertain.
+        est = make_estimator(
+            diamond_dag, FixtureData(cond_prob=0.5, exec_seconds=10.0),
+            batch_size=200, max_samples=600, cov_threshold=1e-9,
+        )
+        result = est.estimate(
+            DeploymentPlan.single_region(diamond_dag, "us-east-1"),
+            lambda r: 400.0,
+        )
+        assert result.n_samples == 600
+
+    def test_plan_must_cover_dag(self, chain_dag):
+        est = make_estimator(chain_dag)
+        with pytest.raises(ValueError, match="cover"):
+            est.estimate(DeploymentPlan({"a": "us-east-1"}), lambda r: 1.0)
+
+
+class TestEstimates:
+    def test_chain_latency_is_sum_plus_transfers(self, chain_dag):
+        est = make_estimator(chain_dag, FixtureData(exec_seconds=1.0,
+                                                    edge_bytes=0.0))
+        plan = DeploymentPlan.single_region(chain_dag, "us-east-1")
+        result = est.estimate(plan, lambda r: 400.0)
+        # Three 1 s stages + two tiny intra-region hops.
+        assert 2.8 < result.mean_latency_s < 3.6
+
+    def test_cross_region_raises_latency(self, chain_dag):
+        est = make_estimator(chain_dag)
+        same = est.estimate(
+            DeploymentPlan.single_region(chain_dag, "us-east-1"), lambda r: 400.0
+        )
+        est2 = make_estimator(chain_dag)
+        spread = est2.estimate(
+            DeploymentPlan({"a": "us-east-1", "b": "us-west-1", "c": "us-east-1"}),
+            lambda r: 400.0,
+        )
+        assert spread.mean_latency_s > same.mean_latency_s
+
+    def test_carbon_scales_with_intensity(self, chain_dag):
+        est = make_estimator(chain_dag)
+        plan = DeploymentPlan.single_region(chain_dag, "us-east-1")
+        profile = est.estimate_profile(plan)
+        high = profile.estimate_at(lambda r: 400.0)
+        low = profile.estimate_at(lambda r: 40.0)
+        assert high.mean_carbon_g == pytest.approx(10 * low.mean_carbon_g, rel=1e-6)
+
+    def test_low_carbon_region_wins_execution_carbon(self, chain_dag):
+        est = make_estimator(chain_dag, FixtureData(edge_bytes=1e3))
+        intensities = {"us-east-1": 400.0, "ca-central-1": 34.0}
+        home = est.estimate(
+            DeploymentPlan.single_region(chain_dag, "us-east-1"),
+            lambda r: intensities[r],
+        )
+        est2 = make_estimator(chain_dag, FixtureData(edge_bytes=1e3))
+        remote = est2.estimate(
+            DeploymentPlan.single_region(chain_dag, "ca-central-1"),
+            lambda r: intensities[r],
+        )
+        assert remote.mean_carbon_g < 0.2 * home.mean_carbon_g
+
+    def test_transmission_heavy_offload_not_worth_it_worst_case(self, chain_dag):
+        # Worst-case scenario: intra free, inter expensive -> moving a
+        # data-heavy chain across regions adds transmission carbon.
+        data = FixtureData(exec_seconds=0.05, edge_bytes=50e6)
+        est = make_estimator(chain_dag, data,
+                             scenario=TransmissionScenario.worst_case())
+        intensities = {"us-east-1": 400.0, "us-west-1": 380.0}
+        home = est.estimate(
+            DeploymentPlan.single_region(chain_dag, "us-east-1"),
+            lambda r: intensities[r],
+        )
+        est2 = make_estimator(chain_dag, data,
+                              scenario=TransmissionScenario.worst_case())
+        split = est2.estimate(
+            DeploymentPlan({"a": "us-east-1", "b": "us-west-1", "c": "us-east-1"}),
+            lambda r: intensities[r],
+        )
+        assert split.mean_carbon_g > home.mean_carbon_g
+
+    def test_conditional_edges_reduce_work(self, diamond_dag):
+        never = make_estimator(diamond_dag, FixtureData(cond_prob=0.0))
+        always = make_estimator(diamond_dag, FixtureData(cond_prob=1.0))
+        plan = DeploymentPlan.single_region(diamond_dag, "us-east-1")
+        e_never = never.estimate(plan, lambda r: 400.0)
+        e_always = always.estimate(plan, lambda r: 400.0)
+        # Skipping node c removes its execution carbon.
+        assert e_never.mean_carbon_g < e_always.mean_carbon_g
+
+    def test_external_data_follows_node(self, chain_dag):
+        class ExtData(FixtureData):
+            def node_external_bytes(self, node):
+                if node == "b":
+                    return "us-east-1", 10e6
+                return None, 0.0
+
+        # Worst-case accounting: intra-region transfers are free, so the
+        # pinned-data penalty only appears once the node moves away.
+        worst = TransmissionScenario.worst_case()
+        est = make_estimator(chain_dag, ExtData(edge_bytes=1e3), scenario=worst)
+        home = est.estimate(
+            DeploymentPlan.single_region(chain_dag, "us-east-1"), lambda r: 400.0
+        )
+        est2 = make_estimator(chain_dag, ExtData(edge_bytes=1e3), scenario=worst)
+        moved = est2.estimate(
+            DeploymentPlan({"a": "us-east-1", "b": "ca-central-1", "c": "us-east-1"}),
+            lambda r: 400.0,
+        )
+        # Node b moved away from its pinned data: more transmission carbon.
+        assert moved.mean_trans_carbon_g > home.mean_trans_carbon_g
+
+    def test_metric_selector(self, chain_dag):
+        est = make_estimator(chain_dag)
+        result = est.estimate(
+            DeploymentPlan.single_region(chain_dag, "us-east-1"), lambda r: 400.0
+        )
+        assert result.metric("carbon") == result.mean_carbon_g
+        assert result.metric("cost") == result.mean_cost_usd
+        assert result.metric("latency") == result.mean_latency_s
+        with pytest.raises(ValueError):
+            result.metric("vibes")
+
+    def test_sync_node_data_relays_through_kv_region(self, diamond_dag):
+        est = make_estimator(
+            diamond_dag, FixtureData(cond_prob=1.0, edge_bytes=20e6),
+            kv_region="us-east-1",
+        )
+        plan = DeploymentPlan(
+            {"a": "us-east-1", "b": "us-west-1", "c": "us-east-1", "d": "us-west-1"}
+        )
+        profile = est.estimate_profile(plan)
+        # Fan-in data from b (us-west-1) must hop through the KV region.
+        routes = set()
+        for sample in profile.route_bytes:
+            routes.update(sample.keys())
+        assert ("us-west-1", "us-east-1") in routes  # b -> KV
+        assert ("us-east-1", "us-west-1") in routes  # KV -> d
+
+
+class TestPlanProfile:
+    def test_profile_repricing_matches_direct_estimate(self, diamond_dag):
+        plan = DeploymentPlan.single_region(diamond_dag, "us-east-1")
+        est = make_estimator(diamond_dag, seed=7)
+        profile = est.estimate_profile(plan)
+        at_400 = profile.estimate_at(lambda r: 400.0)
+        at_34 = profile.estimate_at(lambda r: 34.0)
+        # Latency/cost are hour-independent; carbon scales exactly.
+        assert at_400.mean_latency_s == at_34.mean_latency_s
+        assert at_400.mean_cost_usd == at_34.mean_cost_usd
+        assert at_400.mean_exec_carbon_g == pytest.approx(
+            at_34.mean_exec_carbon_g * 400 / 34, rel=1e-9
+        )
+
+    def test_carbon_samples_shape(self, chain_dag):
+        est = make_estimator(chain_dag)
+        profile = est.estimate_profile(
+            DeploymentPlan.single_region(chain_dag, "us-east-1")
+        )
+        samples = profile.carbon_samples(lambda r: 100.0)
+        assert len(samples) == profile.n_samples
+        assert np.all(samples > 0)

@@ -1,0 +1,139 @@
+"""Tests for the network model and object storage."""
+
+import pytest
+
+from repro.cloud.storage import ObjectNotFound
+from repro.common.errors import CaribouError
+from repro.common.units import mb
+
+
+class TestNetwork:
+    def test_latency_grows_with_size(self, cloud):
+        small = cloud.network.transfer_latency("us-east-1", "us-west-1", 1e3, jitter=False)
+        big = cloud.network.transfer_latency("us-east-1", "us-west-1", 1e8, jitter=False)
+        assert big > small
+
+    def test_intra_region_faster_than_inter(self, cloud):
+        intra = cloud.network.transfer_latency("us-east-1", "us-east-1", mb(10), jitter=False)
+        inter = cloud.network.transfer_latency("us-east-1", "us-west-1", mb(10), jitter=False)
+        assert intra < inter
+
+    def test_zero_size_transfer_is_propagation_only(self, cloud):
+        latency = cloud.network.transfer_latency("us-east-1", "us-west-2", 0.0, jitter=False)
+        assert latency == pytest.approx(
+            cloud.latency_source.one_way("us-east-1", "us-west-2")
+        )
+
+    def test_negative_size_rejected(self, cloud):
+        with pytest.raises(ValueError):
+            cloud.network.transfer_latency("us-east-1", "us-west-1", -1.0)
+
+    def test_transfer_recorded_in_ledger(self, cloud):
+        cloud.network.transfer(
+            "us-east-1", "ca-central-1", mb(1), workflow="wf",
+            request_id="r1", kind="data", edge="a->b",
+        )
+        records = cloud.ledger.transmissions_for("wf")
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.src_region == "us-east-1"
+        assert rec.dst_region == "ca-central-1"
+        assert rec.size_bytes == mb(1)
+        assert rec.edge == "a->b"
+        assert not rec.intra_region
+
+    def test_jitter_is_bounded_below(self, cloud):
+        # Even extreme jitter draws cannot make latency non-positive.
+        for _ in range(200):
+            latency = cloud.network.transfer_latency("us-east-1", "us-east-1", 0.0)
+            assert latency > 0
+
+
+class TestObjectStore:
+    def test_put_get_roundtrip(self, cloud):
+        cloud.storage.create_bucket("inputs", "us-east-1")
+        cloud.storage.put_object("inputs", "f.txt", 1024, content="hello")
+        obj, _latency = cloud.storage.get_object("inputs", "f.txt")
+        assert obj.content == "hello"
+        assert obj.size_bytes == 1024
+
+    def test_bucket_region_pinned(self, cloud):
+        cloud.storage.create_bucket("b", "ca-central-1")
+        assert cloud.storage.bucket_region("b") == "ca-central-1"
+        with pytest.raises(CaribouError):
+            cloud.storage.create_bucket("b", "us-east-1")
+
+    def test_recreate_same_region_idempotent(self, cloud):
+        cloud.storage.create_bucket("b", "us-east-1")
+        cloud.storage.create_bucket("b", "us-east-1")  # no error
+
+    def test_missing_object(self, cloud):
+        cloud.storage.create_bucket("b", "us-east-1")
+        with pytest.raises(ObjectNotFound):
+            cloud.storage.get_object("b", "nope")
+
+    def test_missing_bucket(self, cloud):
+        with pytest.raises(ObjectNotFound):
+            cloud.storage.get_object("ghost", "k")
+
+    def test_cross_region_get_billed_from_bucket(self, cloud):
+        cloud.storage.create_bucket("b", "us-east-1")
+        cloud.storage.put_object("b", "k", mb(5), workflow="wf")
+        cloud.ledger.transmissions.clear()
+        cloud.storage.get_object("b", "k", caller_region="us-west-1", workflow="wf")
+        rec = cloud.ledger.transmissions_for("wf")[0]
+        assert rec.src_region == "us-east-1"  # sender pays egress
+        assert rec.dst_region == "us-west-1"
+
+    def test_head_and_list(self, cloud):
+        cloud.storage.create_bucket("b", "us-east-1")
+        cloud.storage.put_object("b", "k1", 10)
+        cloud.storage.put_object("b", "k2", 20)
+        assert cloud.storage.head_object("b", "k2").size_bytes == 20
+        assert set(cloud.storage.list_objects("b")) == {"k1", "k2"}
+
+
+class TestRegistryAndIam:
+    def test_push_and_copy(self, cloud):
+        cloud.registry.push("us-east-1", "wf/fn", "1.0", mb(250))
+        latency = cloud.registry.copy_image("wf/fn", "1.0", "us-east-1", "ca-central-1")
+        assert latency > 0
+        assert cloud.registry.exists("ca-central-1", "wf/fn", "1.0")
+
+    def test_copy_idempotent(self, cloud):
+        cloud.registry.push("us-east-1", "wf/fn", "1.0", mb(250))
+        cloud.registry.copy_image("wf/fn", "1.0", "us-east-1", "us-west-1")
+        # Second copy skips identical layers: no transfer, zero latency.
+        before = len(cloud.ledger.transmissions)
+        assert cloud.registry.copy_image("wf/fn", "1.0", "us-east-1", "us-west-1") == 0.0
+        assert len(cloud.ledger.transmissions) == before
+
+    def test_copy_missing_image_fails(self, cloud):
+        from repro.common.errors import DeploymentError
+
+        with pytest.raises(DeploymentError):
+            cloud.registry.copy_image("ghost", "1.0", "us-east-1", "us-west-1")
+
+    def test_image_transfer_is_image_kind(self, cloud):
+        cloud.registry.push("us-east-1", "wf/fn", "1.0", mb(100), )
+        cloud.registry.copy_image("wf/fn", "1.0", "us-east-1", "us-west-2", workflow="wf")
+        recs = [r for r in cloud.ledger.transmissions_for("wf") if r.kind == "image"]
+        assert len(recs) == 1
+        assert recs[0].size_bytes == mb(100)
+
+    def test_invalid_image_size(self, cloud):
+        with pytest.raises(ValueError):
+            cloud.registry.push("us-east-1", "x", "1", 0)
+
+    def test_iam_roles(self, cloud):
+        cloud.iam.create_role("wf-fn-us-east-1", {"allow": "*"})
+        assert cloud.iam.role_exists("wf-fn-us-east-1")
+        assert cloud.iam.get_policy("wf-fn-us-east-1") == {"allow": "*"}
+        cloud.iam.delete_role("wf-fn-us-east-1")
+        assert not cloud.iam.role_exists("wf-fn-us-east-1")
+
+    def test_missing_role_policy_raises(self, cloud):
+        from repro.common.errors import DeploymentError
+
+        with pytest.raises(DeploymentError):
+            cloud.iam.get_policy("ghost")

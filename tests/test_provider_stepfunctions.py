@@ -1,0 +1,80 @@
+"""Tests for the cloud facade and the Step Functions service."""
+
+import pytest
+
+from repro.cloud.provider import SimulatedCloud
+from repro.cloud.stepfunctions import StepFunctionsService
+
+
+class TestSimulatedCloud:
+    def test_default_regions_are_evaluation_set(self, cloud):
+        assert set(cloud.regions) == {
+            "us-east-1", "us-west-1", "us-west-2", "ca-central-1",
+        }
+
+    def test_custom_region_subset(self):
+        cloud = SimulatedCloud(seed=0, regions=("us-east-1", "ca-central-1"))
+        assert cloud.regions == ("us-east-1", "ca-central-1")
+
+    def test_invalid_region_rejected_early(self):
+        with pytest.raises(KeyError):
+            SimulatedCloud(seed=0, regions=("us-east-1", "nowhere-9"))
+
+    def test_kvstore_cached_per_region(self, cloud):
+        assert cloud.kvstore("us-east-1") is cloud.kvstore("us-east-1")
+        assert cloud.kvstore("us-east-1") is not cloud.kvstore("us-west-1")
+
+    def test_stepfunctions_cached_per_region(self, cloud):
+        assert cloud.stepfunctions("us-east-1") is cloud.stepfunctions("us-east-1")
+
+    def test_run_advances_time(self, cloud):
+        cloud.env.schedule(5.0, lambda: None)
+        cloud.run(until=10.0)
+        assert cloud.now() == 10.0
+
+    def test_seed_isolation(self):
+        a = SimulatedCloud(seed=1)
+        b = SimulatedCloud(seed=1)
+        assert a.env.rng.get("x").random() == b.env.rng.get("x").random()
+
+
+class TestStepFunctionsService:
+    def test_execution_lifecycle(self, cloud):
+        sf = cloud.stepfunctions("us-east-1")
+        sf.start_execution("e1")
+        assert not sf.is_finished("e1")
+        sf.finish_execution("e1")
+        assert sf.is_finished("e1")
+
+    def test_duplicate_execution_rejected(self, cloud):
+        sf = cloud.stepfunctions("us-east-1")
+        sf.start_execution("e1")
+        with pytest.raises(ValueError):
+            sf.start_execution("e1")
+
+    def test_unknown_execution(self, cloud):
+        sf = cloud.stepfunctions("us-east-1")
+        with pytest.raises(KeyError):
+            sf.is_finished("ghost")
+
+    def test_transition_accounting(self, cloud):
+        sf = cloud.stepfunctions("us-east-1")
+        assert sf.transitions == 0
+        delay = sf.transition_delay()
+        assert delay > 0
+        assert sf.transitions == 1
+
+    def test_central_arrival_counting(self, cloud):
+        sf = cloud.stepfunctions("us-east-1")
+        sf.start_execution("e1")
+        assert sf.record_arrival("e1", "join") == 1
+        assert sf.record_arrival("e1", "join") == 2
+        assert sf.arrivals("e1", "join") == 2
+        assert sf.arrivals("e1", "other") == 0
+
+    def test_transition_cheaper_than_sns_hop(self, cloud):
+        from repro.cloud.pubsub import DELIVERY_OVERHEAD_S, PUBLISH_OVERHEAD_S
+
+        sf = StepFunctionsService(cloud.env, "us-east-1")
+        # The Fig. 12 premise: SF transitions beat publish+delivery.
+        assert sf.transition_delay() < PUBLISH_OVERHEAD_S + DELIVERY_OVERHEAD_S

@@ -1,0 +1,152 @@
+"""Tests for the pub/sub messaging service (SNS substitute)."""
+
+import pytest
+
+from repro.cloud.pubsub import (
+    DELIVERY_OVERHEAD_S,
+    MAX_DELIVERY_ATTEMPTS,
+    PUBLISH_OVERHEAD_S,
+    Message,
+)
+from repro.common.errors import MessageDeliveryError
+
+
+class TestTopics:
+    def test_create_and_exists(self, cloud):
+        cloud.pubsub.create_topic("t", "us-east-1")
+        assert cloud.pubsub.topic_exists("t", "us-east-1")
+        assert not cloud.pubsub.topic_exists("t", "us-west-1")
+
+    def test_delete(self, cloud):
+        cloud.pubsub.create_topic("t", "us-east-1")
+        cloud.pubsub.delete_topic("t", "us-east-1")
+        assert not cloud.pubsub.topic_exists("t", "us-east-1")
+
+    def test_publish_to_missing_topic_raises(self, cloud):
+        with pytest.raises(MessageDeliveryError):
+            cloud.pubsub.publish(
+                "ghost", "us-east-1", Message(body={}, size_bytes=10),
+                source_region="us-east-1",
+            )
+
+
+class TestDelivery:
+    def test_message_reaches_subscriber(self, cloud):
+        cloud.pubsub.create_topic("t", "us-east-1")
+        received = []
+        cloud.pubsub.subscribe("t", "us-east-1", lambda m: received.append(m.body))
+        cloud.pubsub.publish(
+            "t", "us-east-1", Message(body={"x": 1}, size_bytes=100),
+            source_region="us-east-1",
+        )
+        cloud.run_until_idle()
+        assert received == [{"x": 1}]
+
+    def test_delivery_is_delayed_by_overheads(self, cloud):
+        cloud.pubsub.create_topic("t", "us-east-1")
+        times = []
+        cloud.pubsub.subscribe("t", "us-east-1", lambda m: times.append(cloud.now()))
+        cloud.pubsub.publish(
+            "t", "us-east-1", Message(body=None, size_bytes=0),
+            source_region="us-east-1",
+        )
+        cloud.run_until_idle()
+        assert times[0] >= PUBLISH_OVERHEAD_S + DELIVERY_OVERHEAD_S
+
+    def test_cross_region_publish_transfers_body(self, cloud):
+        cloud.pubsub.create_topic("t", "ca-central-1")
+        cloud.pubsub.subscribe("t", "ca-central-1", lambda m: None)
+        cloud.pubsub.publish(
+            "t", "ca-central-1",
+            Message(body=None, size_bytes=5000, workflow="wf"),
+            source_region="us-east-1",
+        )
+        cloud.run_until_idle()
+        recs = cloud.ledger.transmissions_for("wf")
+        assert recs[0].src_region == "us-east-1"
+        assert recs[0].dst_region == "ca-central-1"
+
+    def test_edge_label_propagates_to_transfer(self, cloud):
+        cloud.pubsub.create_topic("t", "us-east-1")
+        cloud.pubsub.subscribe("t", "us-east-1", lambda m: None)
+        cloud.pubsub.publish(
+            "t", "us-east-1", Message(body=None, size_bytes=10, workflow="wf"),
+            source_region="us-east-1", edge_label="a->b",
+        )
+        assert cloud.ledger.transmissions_for("wf")[0].edge == "a->b"
+
+    def test_publish_metered(self, cloud):
+        cloud.pubsub.create_topic("t", "us-east-1")
+        cloud.pubsub.subscribe("t", "us-east-1", lambda m: None)
+        cloud.pubsub.publish(
+            "t", "us-east-1",
+            Message(body=None, size_bytes=10, workflow="wf", request_id="r"),
+            source_region="us-east-1",
+        )
+        msgs = cloud.ledger.messages_for("wf")
+        assert len(msgs) == 1
+        assert msgs[0].topic == "t"
+
+
+class TestRetrySemantics:
+    def test_failing_subscriber_is_retried(self, cloud):
+        cloud.pubsub.create_topic("t", "us-east-1")
+        attempts = []
+
+        def flaky(message):
+            attempts.append(cloud.now())
+            if len(attempts) < 2:
+                raise RuntimeError("transient")
+
+        cloud.pubsub.subscribe("t", "us-east-1", flaky)
+        cloud.pubsub.publish(
+            "t", "us-east-1", Message(body=None, size_bytes=0),
+            source_region="us-east-1",
+        )
+        cloud.run_until_idle()
+        assert len(attempts) == 2
+        assert cloud.pubsub.topic_stats("t", "us-east-1") == (1, 0)
+
+    def test_message_dead_lettered_after_max_attempts(self, cloud):
+        cloud.pubsub.create_topic("t", "us-east-1")
+        attempts = []
+
+        def broken(message):
+            attempts.append(1)
+            raise RuntimeError("permanent")
+
+        cloud.pubsub.subscribe("t", "us-east-1", broken)
+        cloud.pubsub.publish(
+            "t", "us-east-1", Message(body="b", size_bytes=0),
+            source_region="us-east-1",
+        )
+        cloud.run_until_idle()
+        assert len(attempts) == MAX_DELIVERY_ATTEMPTS
+        assert cloud.pubsub.topic_stats("t", "us-east-1") == (0, 1)
+        assert len(cloud.pubsub.dead_letters) == 1
+
+    def test_no_subscriber_dead_letters(self, cloud):
+        cloud.pubsub.create_topic("t", "us-east-1")
+        cloud.pubsub.publish(
+            "t", "us-east-1", Message(body=None, size_bytes=0),
+            source_region="us-east-1",
+        )
+        cloud.run_until_idle()
+        assert len(cloud.pubsub.dead_letters) == 1
+
+    def test_retry_backoff_spacing(self, cloud):
+        cloud.pubsub.create_topic("t", "us-east-1")
+        attempts = []
+
+        def broken(message):
+            attempts.append(cloud.now())
+            raise RuntimeError("nope")
+
+        cloud.pubsub.subscribe("t", "us-east-1", broken)
+        cloud.pubsub.publish(
+            "t", "us-east-1", Message(body=None, size_bytes=0),
+            source_region="us-east-1",
+        )
+        cloud.run_until_idle()
+        gaps = [b - a for a, b in zip(attempts, attempts[1:])]
+        assert all(b > a for a, b in zip(gaps, gaps[1:]))  # exponential

@@ -1,0 +1,112 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.cloud.simulator import SimulationEnvironment
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        env = SimulationEnvironment()
+        order = []
+        env.schedule(3.0, lambda: order.append("c"))
+        env.schedule(1.0, lambda: order.append("a"))
+        env.schedule(2.0, lambda: order.append("b"))
+        env.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_fifo(self):
+        env = SimulationEnvironment()
+        order = []
+        for tag in ("first", "second", "third"):
+            env.schedule(1.0, lambda t=tag: order.append(t))
+        env.run_until_idle()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        env = SimulationEnvironment()
+        times = []
+        env.schedule(5.0, lambda: times.append(env.now()))
+        env.run_until_idle()
+        assert times == [5.0]
+        assert env.now() == 5.0
+
+    def test_negative_delay_rejected(self):
+        env = SimulationEnvironment()
+        with pytest.raises(ValueError):
+            env.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        env = SimulationEnvironment()
+        env.schedule(5.0, lambda: None)
+        env.run_until_idle()
+        with pytest.raises(ValueError):
+            env.schedule_at(1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        env = SimulationEnvironment()
+        seen = []
+
+        def outer():
+            seen.append(("outer", env.now()))
+            env.schedule(2.0, lambda: seen.append(("inner", env.now())))
+
+        env.schedule(1.0, outer)
+        env.run_until_idle()
+        assert seen == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_cancelled_event_does_not_run(self):
+        env = SimulationEnvironment()
+        seen = []
+        handle = env.schedule(1.0, lambda: seen.append("x"))
+        handle.cancel()
+        env.run_until_idle()
+        assert seen == []
+        assert not handle.pending
+
+
+class TestRun:
+    def test_run_until_horizon(self):
+        env = SimulationEnvironment()
+        seen = []
+        env.schedule(1.0, lambda: seen.append(1))
+        env.schedule(10.0, lambda: seen.append(10))
+        executed = env.run(until=5.0)
+        assert executed == 1
+        assert seen == [1]
+        assert env.now() == 5.0  # clock left at the horizon
+
+    def test_remaining_event_runs_later(self):
+        env = SimulationEnvironment()
+        seen = []
+        env.schedule(10.0, lambda: seen.append(10))
+        env.run(until=5.0)
+        env.run_until_idle()
+        assert seen == [10]
+
+    def test_max_events_bound(self):
+        env = SimulationEnvironment()
+
+        def reschedule():
+            env.schedule(1.0, reschedule)
+
+        env.schedule(1.0, reschedule)
+        executed = env.run(max_events=50)
+        assert executed == 50
+
+    def test_events_executed_counter(self):
+        env = SimulationEnvironment()
+        for i in range(5):
+            env.schedule(float(i), lambda: None)
+        env.run_until_idle()
+        assert env.events_executed == 5
+
+    def test_peek_time_skips_cancelled(self):
+        env = SimulationEnvironment()
+        h = env.schedule(1.0, lambda: None)
+        env.schedule(2.0, lambda: None)
+        h.cancel()
+        assert env.peek_time() == 2.0
+
+    def test_idle_peek_is_none(self):
+        assert SimulationEnvironment().peek_time() is None

@@ -1,0 +1,308 @@
+"""Tests for the solver stack: evaluation, HBSS, coarse, exhaustive."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SolverError
+from repro.core.solver import (
+    CoarseSolver,
+    ExhaustiveSolver,
+    HBSSSolver,
+    PlanEvaluator,
+    SolverSettings,
+)
+from repro.data.latency import LatencySource
+from repro.data.pricing import PricingSource
+from repro.metrics.carbon import CarbonModel, TransmissionScenario
+from repro.metrics.cost import CostModel
+from repro.metrics.distributions import EmpiricalDistribution
+from repro.metrics.latency import TransferLatencyModel
+from repro.model.config import FunctionConstraints, Tolerances, WorkflowConfig
+from repro.model.plan import DeploymentPlan
+
+REGIONS = ("us-east-1", "us-west-1", "us-west-2", "ca-central-1")
+
+#: Flat intensities: ca-central-1 overwhelmingly cleanest.
+INTENSITY = {
+    "us-east-1": 400.0,
+    "us-west-1": 375.0,
+    "us-west-2": 392.0,
+    "ca-central-1": 34.0,
+}
+
+
+class FixtureData:
+    def __init__(self, exec_seconds=1.0, edge_bytes=1e5):
+        self.exec_seconds = exec_seconds
+        self.edge_bytes = edge_bytes
+
+    def execution_time_dist(self, node, region):
+        return EmpiricalDistribution(
+            [self.exec_seconds * f for f in (0.9, 1.0, 1.1)]
+        )
+
+    def edge_probability(self, src, dst):
+        return 1.0
+
+    def edge_size_dist(self, src, dst):
+        return EmpiricalDistribution([self.edge_bytes])
+
+    def node_memory_mb(self, node):
+        return 1769
+
+    def node_vcpu(self, node):
+        return 1.0
+
+    def node_cpu_utilization(self, node):
+        return 0.7
+
+    def node_external_bytes(self, node):
+        return None, 0.0
+
+    def input_size_dist(self):
+        return EmpiricalDistribution([0.0])
+
+
+def intensity_fn(region, hour):
+    return INTENSITY[region]
+
+
+def make_evaluator(dag, config=None, data=None, settings=None,
+                   scenario=None, seed=0):
+    return PlanEvaluator(
+        dag=dag,
+        config=config or WorkflowConfig(home_region="us-east-1"),
+        data=data or FixtureData(),
+        regions=REGIONS,
+        intensity_fn=intensity_fn,
+        carbon_model=CarbonModel(scenario or TransmissionScenario.best_case()),
+        cost_model=CostModel(PricingSource()),
+        latency_model=TransferLatencyModel(LatencySource()),
+        rng=np.random.default_rng(seed),
+        settings=settings or SolverSettings(batch_size=40, max_samples=120,
+                                            cov_threshold=0.1),
+    )
+
+
+class TestPlanEvaluator:
+    def test_permitted_regions_filter_compliance(self, chain_dag):
+        config = WorkflowConfig(
+            home_region="us-east-1",
+            function_constraints={
+                "b": FunctionConstraints(
+                    allowed_regions=frozenset({"us-east-1", "us-west-2"})
+                )
+            },
+        )
+        ev = make_evaluator(chain_dag, config=config)
+        assert set(ev.permitted_regions("b")) == {"us-east-1", "us-west-2"}
+        assert set(ev.permitted_regions("a")) == set(REGIONS)
+
+    def test_search_space_size(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        assert ev.search_space_size() == 4**3
+
+    def test_no_permitted_region_raises(self, chain_dag):
+        config = WorkflowConfig(
+            home_region="us-east-1",
+            function_constraints={
+                "b": FunctionConstraints(allowed_regions=frozenset({"ca-west-1"}))
+            },
+        )
+        with pytest.raises(ValueError, match="no region"):
+            make_evaluator(chain_dag, config=config)
+
+    def test_profile_cached(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        plan = ev.home_plan()
+        p1 = ev.profile(plan)
+        p2 = ev.profile(DeploymentPlan(dict(plan.assignments)))
+        assert p1 is p2
+        assert ev.plans_profiled == 1
+
+    def test_tolerance_violated_latency(self, chain_dag):
+        config = WorkflowConfig(
+            home_region="us-east-1",
+            tolerances=Tolerances(latency=0.0),
+        )
+        ev = make_evaluator(chain_dag, config=config,
+                            data=FixtureData(exec_seconds=0.2))
+        # Spreading a short chain across the continent blows the
+        # zero-tolerance latency budget.
+        remote = DeploymentPlan(
+            {"a": "us-east-1", "b": "us-west-1", "c": "us-east-1"}
+        )
+        assert ev.tolerance_violated(remote, hour=0)
+        assert not ev.tolerance_violated(ev.home_plan(), hour=0)
+
+    def test_no_tolerances_never_violates(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        remote = DeploymentPlan.single_region(chain_dag, "ca-central-1")
+        assert not ev.tolerance_violated(remote, hour=0)
+
+    def test_compliance_check(self, chain_dag):
+        config = WorkflowConfig(
+            home_region="us-east-1",
+            function_constraints={
+                "a": FunctionConstraints(allowed_regions=frozenset({"us-east-1"}))
+            },
+        )
+        ev = make_evaluator(chain_dag, config=config)
+        assert ev.is_plan_compliant(ev.home_plan())
+        assert not ev.is_plan_compliant(
+            DeploymentPlan.single_region(chain_dag, "ca-central-1")
+        )
+
+
+class TestHBSS:
+    def test_finds_low_carbon_region(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        solver = HBSSSolver(ev, np.random.default_rng(1))
+        result = solver.solve_hour(0)
+        # With a ~12x intensity gap and tiny payloads, everything should
+        # land in ca-central-1.
+        assert set(result.best_plan.assignments.values()) == {"ca-central-1"}
+        assert result.iterations > 0
+
+    def test_iteration_budget_alpha(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        solver = HBSSSolver(ev, np.random.default_rng(1))
+        result = solver.solve_hour(0)
+        alpha = len(chain_dag) * len(REGIONS) * ev.settings.alpha_per_node_region
+        assert result.iterations <= alpha
+
+    def test_respects_compliance(self, chain_dag):
+        config = WorkflowConfig(
+            home_region="us-east-1",
+            function_constraints={
+                "a": FunctionConstraints(allowed_regions=frozenset({"us-east-1"}))
+            },
+        )
+        ev = make_evaluator(chain_dag, config=config)
+        solver = HBSSSolver(ev, np.random.default_rng(2))
+        result = solver.solve_hour(0)
+        assert result.best_plan.region_of("a") == "us-east-1"
+        # The unconstrained nodes still escape to the clean region.
+        assert result.best_plan.region_of("b") == "ca-central-1"
+
+    def test_never_worse_than_home(self, diamond_dag):
+        ev = make_evaluator(diamond_dag)
+        solver = HBSSSolver(ev, np.random.default_rng(3))
+        result = solver.solve_hour(0)
+        home_metric = ev.metric(ev.home_plan(), 0)
+        assert ev.metric(result.best_plan, 0) <= home_metric
+
+    def test_tolerance_keeps_plans_feasible(self, chain_dag):
+        config = WorkflowConfig(
+            home_region="us-east-1",
+            tolerances=Tolerances(latency=0.0),
+        )
+        ev = make_evaluator(chain_dag, config=config,
+                            data=FixtureData(exec_seconds=0.2))
+        solver = HBSSSolver(ev, np.random.default_rng(4))
+        result = solver.solve_hour(0)
+        assert not ev.tolerance_violated(result.best_plan, 0)
+
+    def test_solve_day_produces_hourly_set(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        solver = HBSSSolver(ev, np.random.default_rng(5))
+        plan_set, results = solver.solve_day(hours=[0, 6, 12])
+        assert plan_set.hours == (0, 6, 12)
+        assert len(results) == 3
+
+    def test_solve_day_empty_hours_rejected(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        solver = HBSSSolver(ev, np.random.default_rng(5))
+        with pytest.raises(ValueError):
+            solver.solve_day(hours=[])
+
+    def test_offloaded_nodes_signal(self, chain_dag):
+        from repro.core.solver.hbss import SolveResult
+        from repro.metrics.montecarlo import WorkflowEstimate
+
+        est = WorkflowEstimate(1, 1, 1, 1, 1, 1, 1, 0, 10)
+        res = SolveResult(
+            hour=0,
+            best_plan=DeploymentPlan(
+                {"a": "us-east-1", "b": "us-east-1", "c": "ca-central-1"}
+            ),
+            best_estimate=est, iterations=1, accepted=1, feasible_found=1,
+        )
+        assert res.offloaded_nodes == ("c",)
+
+
+class TestCoarseSolver:
+    def test_picks_cleanest_region(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        plan, _est = CoarseSolver(ev).solve_hour(0)
+        assert plan.regions_used == ("ca-central-1",)
+
+    def test_candidate_regions_respect_all_functions(self, chain_dag):
+        config = WorkflowConfig(
+            home_region="us-east-1",
+            function_constraints={
+                "a": FunctionConstraints(allowed_regions=frozenset({"us-east-1"})),
+                "b": FunctionConstraints(
+                    allowed_regions=frozenset({"us-east-1", "ca-central-1"})
+                ),
+            },
+        )
+        ev = make_evaluator(chain_dag, config=config)
+        solver = CoarseSolver(ev)
+        assert solver.candidate_regions() == ("us-east-1",)
+
+    def test_impossible_coarse_raises(self, chain_dag):
+        config = WorkflowConfig(
+            home_region="us-east-1",
+            function_constraints={
+                "a": FunctionConstraints(allowed_regions=frozenset({"us-east-1"})),
+                "b": FunctionConstraints(
+                    allowed_regions=frozenset({"ca-central-1"})
+                ),
+            },
+        )
+        ev = make_evaluator(chain_dag, config=config)
+        with pytest.raises(SolverError):
+            CoarseSolver(ev).solve_hour(0)
+
+    def test_falls_back_home_when_all_violate(self, chain_dag):
+        config = WorkflowConfig(
+            home_region="us-east-1", tolerances=Tolerances(latency=0.0)
+        )
+        ev = make_evaluator(chain_dag, config=config,
+                            data=FixtureData(exec_seconds=0.05))
+        plan, _ = CoarseSolver(ev).solve_hour(0)
+        # Every non-home region may violate a 0 % tolerance (region speed
+        # spread); home must always be reachable.
+        assert plan.covers(chain_dag)
+
+    def test_solve_day(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        plan_set = CoarseSolver(ev).solve_day(hours=[0, 12])
+        assert plan_set.hours == (0, 12)
+
+
+class TestExhaustiveSolver:
+    def test_matches_or_beats_hbss(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        exhaustive_plan, exhaustive_est = ExhaustiveSolver(ev).solve_hour(0)
+        solver = HBSSSolver(ev, np.random.default_rng(6))
+        hbss_result = solver.solve_hour(0)
+        assert exhaustive_est.mean_carbon_g <= ev.estimate(
+            hbss_result.best_plan, 0
+        ).mean_carbon_g * 1.001
+
+    def test_refuses_large_spaces(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        with pytest.raises(SolverError, match="exceeding"):
+            ExhaustiveSolver(ev, max_plans=3).solve_hour(0)
+
+
+class TestSolverSettings:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolverSettings(batch_size=0)
+        with pytest.raises(ValueError):
+            SolverSettings(beta=1.5)
+        with pytest.raises(ValueError):
+            SolverSettings(alpha_per_node_region=0)
