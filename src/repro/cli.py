@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 
 from repro.apps import ALL_APPS, get_app
 from repro.cloud.provider import SimulatedCloud
+from repro.core.solver import SolverStats
 from repro.data.regions import EVALUATION_REGIONS
 from repro.experiments.harness import (
     deploy_benchmark,
@@ -83,6 +84,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"cost ${stats.mean_cost_usd:.6f}"
         )
     print(f"  regions used      : {', '.join(outcome.regions_used)}")
+    if outcome.solver_stats is not None:
+        print(f"  solver stats      : {outcome.solver_stats.summary()}")
     return 0
 
 
@@ -97,7 +100,8 @@ def cmd_solve(args: argparse.Namespace) -> int:
         if args.worst_case
         else TransmissionScenario.best_case()
     )
-    plan_set = solve_plan_set(deployed, executor, scenario)
+    stats = SolverStats()
+    plan_set = solve_plan_set(deployed, executor, scenario, stats=stats)
     print(f"24-hour plan set for {app.name} over {', '.join(regions)}:")
     last = None
     for hour in range(24):
@@ -106,6 +110,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         if summary != last:
             print(f"  {hour:02d}:00  {summary}")
             last = summary
+    print(f"solver stats: {stats.summary()}")
     return 0
 
 

@@ -13,13 +13,14 @@ both are provided as baselines for comparison and ablation:
 """
 
 from repro.core.solver.coarse import CoarseSolver
-from repro.core.solver.evaluation import PlanEvaluator, SolverSettings
+from repro.core.solver.evaluation import PlanEvaluator, SolverSettings, SolverStats
 from repro.core.solver.exhaustive import ExhaustiveSolver
 from repro.core.solver.hbss import HBSSSolver, SolveResult
 
 __all__ = [
     "PlanEvaluator",
     "SolverSettings",
+    "SolverStats",
     "HBSSSolver",
     "SolveResult",
     "CoarseSolver",

@@ -10,6 +10,7 @@ while shifting the rest (§5.1) — which is exactly what Fig. 7's
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.common.errors import SolverError
@@ -45,6 +46,7 @@ class CoarseSolver:
         all; falls back to the home region when every alternative
         violates the QoS tolerances.
         """
+        start_time = time.perf_counter()
         ev = self._ev
         regions = self.candidate_regions()
         if not regions:
@@ -64,6 +66,7 @@ class CoarseSolver:
                 best_plan, best_metric = plan, metric
         if best_plan is None:
             best_plan = ev.home_plan()
+        ev.stats.wall_time_s += time.perf_counter() - start_time
         return best_plan, ev.estimate(best_plan, hour)
 
     def solve_day(

@@ -53,10 +53,65 @@ class SolverSettings:
     def __post_init__(self) -> None:
         if self.batch_size <= 0 or self.max_samples <= 0:
             raise ValueError("Monte-Carlo sample knobs must be positive")
+        if self.cov_threshold <= 0:
+            raise ValueError(
+                f"cov_threshold must be positive, got {self.cov_threshold}"
+            )
         if not 0.0 <= self.beta <= 1.0:
             raise ValueError(f"beta must be in [0, 1], got {self.beta}")
         if self.alpha_per_node_region <= 0:
             raise ValueError("alpha_per_node_region must be positive")
+        if self.gamma < 0:
+            raise ValueError(f"gamma must be non-negative, got {self.gamma}")
+        if not 0.0 < self.gamma_decay <= 1.0:
+            raise ValueError(
+                f"gamma_decay must be in (0, 1], got {self.gamma_decay}"
+            )
+
+
+@dataclass
+class SolverStats:
+    """Instrumentation counters shared across one solver run.
+
+    The :class:`PlanEvaluator` owns one (or accepts a caller-provided
+    instance) and threads it into the Monte-Carlo estimator; solvers
+    accumulate wall time into it.  All counters are cumulative over the
+    evaluator's lifetime, so a 24-hour ``solve_day`` reports totals.
+
+    Attributes:
+        simulations_run: Monte-Carlo profile runs actually simulated.
+        samples_drawn: Total simulation samples across those runs.
+        profiles_built / profile_cache_hits: :meth:`PlanEvaluator.profile`
+            misses vs hits — the hit rate is the payoff of the
+            hour-independent :class:`PlanProfile` re-pricing contract.
+        estimates_computed / estimate_cache_hits: Per-(plan, hour)
+            estimate misses vs hits.
+        wall_time_s: Solver time spent inside ``solve_hour`` calls.
+    """
+
+    simulations_run: int = 0
+    samples_drawn: int = 0
+    profiles_built: int = 0
+    profile_cache_hits: int = 0
+    estimates_computed: int = 0
+    estimate_cache_hits: int = 0
+    wall_time_s: float = 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable digest for CLI/harness output."""
+        total_profile = self.profiles_built + self.profile_cache_hits
+        hit_rate = (
+            self.profile_cache_hits / total_profile if total_profile else 0.0
+        )
+        return (
+            f"{self.simulations_run} simulations "
+            f"({self.samples_drawn} samples), "
+            f"{self.profiles_built} profiles built, "
+            f"profile cache hit rate {hit_rate:.0%}, "
+            f"{self.estimates_computed} estimates computed "
+            f"({self.estimate_cache_hits} cached), "
+            f"solver wall time {self.wall_time_s:.2f}s"
+        )
 
 
 class PlanEvaluator:
@@ -74,7 +129,9 @@ class PlanEvaluator:
         latency_model: TransferLatencyModel,
         rng: np.random.Generator,
         kv_region: Optional[str] = None,
+        client_region: Optional[str] = None,
         settings: SolverSettings = SolverSettings(),
+        stats: Optional[SolverStats] = None,
     ):
         """Args:
         dag / config / data: The workflow and its learned behaviour.
@@ -84,13 +141,22 @@ class PlanEvaluator:
         carbon_model / cost_model / latency_model: Pricing models.
         rng: Solver-owned random stream.
         kv_region: Framework KV-store region (defaults to home).
+        client_region: Where the invocation client sits (defaults to
+            home).  Distinct from ``kv_region``: the client sources the
+            end-user input transfer, the KV region relays sync-node
+            fan-in data.  Conflating them would price a shifted start
+            node's input transfer as free.
         settings: Fidelity and HBSS hyper-parameters.
+        stats: Counter object to accumulate into (a fresh
+            :class:`SolverStats` is created when omitted).
         """
         self.dag = dag
         self.config = config
         self.settings = settings
+        self.stats = stats if stats is not None else SolverStats()
         self._intensity_fn = intensity_fn
         self._kv_region = kv_region or config.home_region
+        self._client_region = client_region or config.home_region
         self._estimator = MonteCarloEstimator(
             dag,
             data,
@@ -99,9 +165,11 @@ class PlanEvaluator:
             latency_model,
             rng,
             kv_region=self._kv_region,
+            client_region=self._client_region,
             batch_size=settings.batch_size,
             max_samples=settings.max_samples,
             cov_threshold=settings.cov_threshold,
+            stats=self.stats,
         )
         self._profiles: Dict[DeploymentPlan, PlanProfile] = {}
         self._estimates: Dict[Tuple[DeploymentPlan, int], WorkflowEstimate] = {}
@@ -143,6 +211,9 @@ class PlanEvaluator:
     def profile(self, plan: DeploymentPlan) -> PlanProfile:
         if plan not in self._profiles:
             self._profiles[plan] = self._estimator.estimate_profile(plan)
+            self.stats.profiles_built += 1
+        else:
+            self.stats.profile_cache_hits += 1
         return self._profiles[plan]
 
     def estimate(self, plan: DeploymentPlan, hour: int) -> WorkflowEstimate:
@@ -152,6 +223,9 @@ class PlanEvaluator:
             self._estimates[key] = profile.estimate_at(
                 lambda region: self._intensity_fn(region, hour)
             )
+            self.stats.estimates_computed += 1
+        else:
+            self.stats.estimate_cache_hits += 1
         return self._estimates[key]
 
     def baseline(self, hour: int) -> WorkflowEstimate:

@@ -23,6 +23,8 @@ Two departures from the paper's terse pseudo-code are documented here:
 from __future__ import annotations
 
 import math
+import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -35,14 +37,32 @@ from repro.model.plan import DeploymentPlan, HourlyPlanSet
 
 @dataclass
 class SolveResult:
-    """Outcome of one per-hour HBSS run."""
+    """Outcome of one per-hour HBSS run.
+
+    ``plans_evaluated`` counts *distinct* deployments the run examined —
+    accepted, rejected, and tolerance-violating alike — i.e. the size of
+    Alg. 1's ``Deployments`` memo, which is also what the
+    complete-exploration termination (line 9) compares against the
+    search-space size.
+    """
 
     hour: int
     best_plan: DeploymentPlan
     best_estimate: WorkflowEstimate
     iterations: int
     accepted: int
-    feasible_found: int
+    plans_evaluated: int
+
+    @property
+    def feasible_found(self) -> int:
+        """Deprecated alias for :attr:`plans_evaluated` (the old name
+        suggested only accepted plans were counted, which was the bug)."""
+        warnings.warn(
+            "SolveResult.feasible_found is deprecated; use plans_evaluated",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.plans_evaluated
 
     @property
     def offloaded_nodes(self) -> Tuple[str, ...]:
@@ -69,6 +89,7 @@ class HBSSSolver:
     # -- public API ------------------------------------------------------------
     def solve_hour(self, hour: int) -> SolveResult:
         """Find the best deployment plan for one hour of the day."""
+        start_time = time.perf_counter()
         ev = self._ev
         dag = ev.dag
         settings = ev.settings
@@ -83,12 +104,16 @@ class HBSSSolver:
         gamma = settings.gamma
 
         accepted_regions: Dict[str, int] = {r: 0 for r in ev.regions}
+        # Memo of *every* distinct deployment examined — accepted or not
+        # — so complete exploration (Alg. 1 line 9) can actually fire.
+        # Tolerance violators are memoized as +inf: evaluated, never a
+        # candidate for "best".
         deployments: Dict[DeploymentPlan, float] = {home: current_metric}
         best_plan, best_metric = current, current_metric
 
         iterations = 0
         accepted = 0
-        while iterations < alpha:
+        while iterations < alpha and len(deployments) < space:
             candidate = self._gen_new_deployment_with_bias(
                 current, hour, accepted_regions
             )
@@ -96,29 +121,29 @@ class HBSSSolver:
             if candidate in deployments:
                 continue
             if ev.tolerance_violated(candidate, hour):
+                deployments[candidate] = math.inf
                 continue
             metric = ev.metric(candidate, hour)
+            deployments[candidate] = metric
             if metric < current_metric or self._mut(
                 gamma, current_metric, metric
             ):
                 current, current_metric = candidate, metric
                 gamma *= ev.settings.gamma_decay
-                deployments[candidate] = metric
                 accepted += 1
                 for region in set(candidate.assignments.values()):
                     accepted_regions[region] = accepted_regions.get(region, 0) + 1
                 if metric < best_metric:
                     best_plan, best_metric = candidate, metric
-            if len(deployments) >= space:
-                break  # complete exploration (Alg. 1 line 9)
 
+        ev.stats.wall_time_s += time.perf_counter() - start_time
         return SolveResult(
             hour=hour,
             best_plan=best_plan,
             best_estimate=ev.estimate(best_plan, hour),
             iterations=iterations,
             accepted=accepted,
-            feasible_found=len(deployments),
+            plans_evaluated=len(deployments),
         )
 
     def solve_day(

@@ -27,7 +27,7 @@ from repro.common.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from repro.core.deployer import DeploymentUtility
 from repro.core.executor import CaribouExecutor, DeployedWorkflow
 from repro.core.migrator import DeploymentMigrator
-from repro.core.solver import HBSSSolver, PlanEvaluator, SolverSettings
+from repro.core.solver import HBSSSolver, PlanEvaluator, SolverSettings, SolverStats
 from repro.metrics.accounting import CarbonAccountant
 from repro.metrics.carbon import CarbonModel, TransmissionScenario
 from repro.metrics.cost import CostModel
@@ -88,6 +88,7 @@ class RunOutcome:
     per_scenario: Dict[str, ScenarioStats]
     plan_set: Optional[HourlyPlanSet] = None
     regions_used: Tuple[str, ...] = ()
+    solver_stats: Optional[SolverStats] = None
 
     def carbon(self, scenario: str) -> float:
         return self.per_scenario[scenario].mean_carbon_g
@@ -158,9 +159,11 @@ def solve_plan_set(
     solver_settings: SolverSettings = BENCH_SOLVER_SETTINGS,
     hours: Optional[Sequence[int]] = None,
     intensity_fn=None,
+    stats: Optional[SolverStats] = None,
 ) -> HourlyPlanSet:
     """Solve a 24-hour plan set over the week-averaged diurnal profile
-    and return it (not yet migrated)."""
+    and return it (not yet migrated).  Pass a :class:`SolverStats` to
+    collect simulation/caching/wall-time counters for the run."""
     cloud = deployed.cloud
     metrics = MetricsManager(
         deployed.dag, deployed.config, cloud.ledger, cloud.carbon_source
@@ -191,7 +194,9 @@ def solve_plan_set(
         latency_model=TransferLatencyModel(cloud.latency_source),
         rng=cloud.env.rng.get(f"solver:{deployed.name}"),
         kv_region=deployed.kv_region,
+        client_region=deployed.config.home_region,
         settings=solver_settings,
+        stats=stats,
     )
     solver = HBSSSolver(evaluator, cloud.env.rng.get(f"solver:{deployed.name}"))
     plan_set, _ = solver.solve_day(hours)
@@ -209,6 +214,7 @@ def _run_measurement(
     scenarios: Sequence[TransmissionScenario],
     label: str,
     plan_set: Optional[HourlyPlanSet],
+    solver_stats: Optional[SolverStats] = None,
 ) -> RunOutcome:
     cloud = deployed.cloud
     start = cloud.now()
@@ -259,6 +265,7 @@ def _run_measurement(
         per_scenario=per_scenario,
         plan_set=plan_set,
         regions_used=regions_used,
+        solver_stats=solver_stats,
     )
 
 
@@ -338,8 +345,10 @@ def run_caribou(
         app, cloud, tolerances=tolerances
     )
     warm_up(executor, app, input_size, n=warmup)
+    solver_stats = SolverStats()
     plan_set = solve_plan_set(
-        deployed, executor, scenario_for_solver, solver_settings
+        deployed, executor, scenario_for_solver, solver_settings,
+        stats=solver_stats,
     )
     migrator = DeploymentMigrator(utility, deployed, executor)
     report = migrator.migrate(plan_set)
@@ -355,4 +364,5 @@ def run_caribou(
         scenarios,
         label=label or f"caribou:{'+'.join(regions)}",
         plan_set=plan_set,
+        solver_stats=solver_stats,
     )

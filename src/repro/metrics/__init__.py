@@ -13,7 +13,11 @@ from repro.metrics.cost import CostModel
 from repro.metrics.distributions import EmpiricalDistribution
 from repro.metrics.forecast import HoltWintersForecaster
 from repro.metrics.manager import MetricsManager
-from repro.metrics.montecarlo import MonteCarloEstimator, WorkflowEstimate
+from repro.metrics.montecarlo import (
+    MonteCarloEstimator,
+    PlanProfile,
+    WorkflowEstimate,
+)
 
 __all__ = [
     "CarbonModel",
@@ -23,5 +27,6 @@ __all__ = [
     "HoltWintersForecaster",
     "MetricsManager",
     "MonteCarloEstimator",
+    "PlanProfile",
     "WorkflowEstimate",
 ]

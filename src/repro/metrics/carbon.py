@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 #: Power usage effectiveness: the 1.07-1.15 AWS range averaged (§7.1).
 PUE = 1.11
 #: Memory power draw, kW per GB (§7.1, community estimate).
@@ -136,6 +138,31 @@ class CarbonModel:
             cpu_total_time_s, duration_s, n_vcpu
         ) + self.memory_energy_kwh(memory_mb, duration_s)
 
+    def execution_energy_kwh_batch(
+        self,
+        durations_s: np.ndarray,
+        memory_mb: float,
+        n_vcpu: float,
+        cpu_total_times_s: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised :meth:`execution_energy_kwh` over duration vectors.
+
+        Replicates the scalar Eq. 7.2-7.4 arithmetic element for element
+        (same operation order, same clamping), so the vectorized
+        Monte-Carlo kernel produces bit-identical energies to the scalar
+        reference path.
+        """
+        durations = np.asarray(durations_s, dtype=float)
+        cpu_totals = np.asarray(cpu_total_times_s, dtype=float)
+        if n_vcpu <= 0 or np.any(durations <= 0):
+            raise ValueError("duration and vCPU count must be positive")
+        utilisation = cpu_totals / (durations * n_vcpu)
+        utilisation = np.minimum(np.maximum(utilisation, 0.0), 1.0)
+        p_vcpu = self.p_min + utilisation * (self.p_max - self.p_min)
+        proc = p_vcpu * n_vcpu * durations / 3600.0
+        mem = self.p_mem * (memory_mb / 1024.0) * durations / 3600.0
+        return proc + mem
+
     # -- carbon ------------------------------------------------------------
     def execution_carbon_g(
         self,
@@ -161,6 +188,21 @@ class CarbonModel:
         if size_bytes < 0:
             raise ValueError(f"size_bytes must be non-negative, got {size_bytes}")
         size_gb = size_bytes / (1024.0**3)
+        ef = self.scenario.energy_factor(intra_region)
+        return route_intensity * ef * size_gb
+
+    def transmission_carbon_g_batch(
+        self,
+        route_intensity: float,
+        size_bytes: np.ndarray,
+        intra_region: bool,
+    ) -> np.ndarray:
+        """Vectorised Eq. 7.5 over a size vector (same op order as the
+        scalar path, see :meth:`execution_energy_kwh_batch`)."""
+        sizes = np.asarray(size_bytes, dtype=float)
+        if np.any(sizes < 0):
+            raise ValueError("size_bytes must be non-negative")
+        size_gb = sizes / (1024.0**3)
         ef = self.scenario.energy_factor(intra_region)
         return route_intensity * ef * size_gb
 

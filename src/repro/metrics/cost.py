@@ -11,6 +11,8 @@ tier is not modelled (§7.1).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.data.pricing import PricingSource
 
 
@@ -30,6 +32,22 @@ class CostModel:
         gb_seconds = (memory_mb / 1024.0) * duration_s
         return gb_seconds * prices.lambda_gb_second + prices.lambda_invocation
 
+    def execution_cost_batch(
+        self, region: str, durations_s: np.ndarray, memory_mb: float
+    ) -> np.ndarray:
+        """Vectorised :meth:`execution_cost` over a duration vector.
+
+        Mirrors the scalar arithmetic exactly (same operation order) so
+        the vectorized Monte-Carlo kernel is bit-identical to the scalar
+        reference path.
+        """
+        durations = np.asarray(durations_s, dtype=float)
+        if np.any(durations < 0) or memory_mb <= 0:
+            raise ValueError("duration must be >= 0 and memory positive")
+        prices = self._pricing.prices(region)
+        gb_seconds = (memory_mb / 1024.0) * durations
+        return gb_seconds * prices.lambda_gb_second + prices.lambda_invocation
+
     def transmission_cost(
         self, src_region: str, dst_region: str, size_bytes: float
     ) -> float:
@@ -42,6 +60,16 @@ class CostModel:
             raise ValueError(f"size_bytes must be non-negative, got {size_bytes}")
         per_gb = self._pricing.egress_per_gb(src_region, dst_region)
         return per_gb * (size_bytes / (1024.0**3))
+
+    def transmission_cost_batch(
+        self, src_region: str, dst_region: str, size_bytes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`transmission_cost` over a size vector."""
+        sizes = np.asarray(size_bytes, dtype=float)
+        if np.any(sizes < 0):
+            raise ValueError("size_bytes must be non-negative")
+        per_gb = self._pricing.egress_per_gb(src_region, dst_region)
+        return per_gb * (sizes / (1024.0**3))
 
     def messaging_cost(self, region: str, n_publishes: int = 1) -> float:
         """SNS publish cost in ``region``."""

@@ -32,6 +32,7 @@ class EmpiricalDistribution:
             raise ValueError(f"max_samples must be positive, got {max_samples}")
         self._max = max_samples
         self._samples: List[float] = []
+        self._array: Optional[np.ndarray] = None
         if samples is not None:
             for s in samples:
                 self.add(float(s))
@@ -40,6 +41,7 @@ class EmpiricalDistribution:
         if not math.isfinite(sample):
             raise ValueError(f"sample must be finite, got {sample}")
         self._samples.append(sample)
+        self._array = None
         if len(self._samples) > self._max:
             del self._samples[0 : len(self._samples) - self._max]
 
@@ -87,10 +89,30 @@ class EmpiricalDistribution:
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
         """Bootstrap-resample from the observations."""
         self._require_nonempty()
-        arr = np.asarray(self._samples)
+        arr = self._as_array()
         if size is None:
             return float(rng.choice(arr))
         return rng.choice(arr, size=size, replace=True)
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Bootstrap-resample ``n`` observations as one ``(n,)`` vector.
+
+        The Monte-Carlo estimator's hot path: a single index draw on the
+        cached observation array replaces ``n`` scalar :meth:`sample`
+        calls.  Consumes exactly one ``rng.integers`` call, which the
+        estimator's determinism note relies on.
+        """
+        self._require_nonempty()
+        if n <= 0:
+            raise ValueError(f"batch size must be positive, got {n}")
+        arr = self._as_array()
+        return arr[rng.integers(0, len(arr), size=n)]
+
+    def _as_array(self) -> np.ndarray:
+        """The observations as a cached float array (rebuilt on append)."""
+        if self._array is None:
+            self._array = np.asarray(self._samples, dtype=float)
+        return self._array
 
     def scaled(self, factor: float) -> "EmpiricalDistribution":
         """A copy with every sample multiplied by ``factor``.

@@ -20,13 +20,39 @@ standard Monte-Carlo stopping rule — the raw sample CoV would never
 converge for wide distributions.  The mean is the "average case" used
 for plan ordering and the 95th percentile the "tail case" used for
 tolerance checks (§7.1).
+
+Determinism note (RNG stream discipline)
+----------------------------------------
+The estimator consumes randomness in *batch-major, structure-minor*
+order.  For every batch of ``B`` simulations it draws, in this exact
+sequence:
+
+1. one uniform matrix ``rng.random((B, n_conditional_edges))`` realising
+   every conditional edge for the whole batch (edges enumerated in
+   ``dag.edges`` order);
+2. the end-user input sizes, ``input_size_dist().sample_batch(rng, B)``;
+3. for each node in (lexicographic) topological order: one
+   ``sample_batch(rng, B)`` per incoming edge's payload-size
+   distribution (in ``dag.in_edges`` order), then one
+   ``sample_batch(rng, B)`` from the node's per-region execution-time
+   distribution.
+
+Payload and duration vectors are drawn for *every* edge and node, even
+those a particular sample skips — bootstrap draws are i.i.d., so masking
+unused values leaves the estimate's distribution unchanged.  Both the
+vectorized kernel and the retained scalar reference path
+(``vectorized=False``) consume this one stream and perform the same
+arithmetic in the same order per element, so the two produce
+bit-identical :class:`PlanProfile`\\ s (and therefore bit-identical
+:class:`WorkflowEstimate`\\ s) from identical seeds — the property the
+differential test in ``tests/test_montecarlo.py`` locks down.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -83,11 +109,19 @@ class WorkflowModelData(Protocol):
     def input_size_dist(self) -> EmpiricalDistribution:
         """Distribution of end-user input payload sizes.
 
-        The invocation client sits at/near the home region (§6.2), so a
-        plan that moves the start node pays this transfer cross-region
-        — without it the solver would under-price offloading the entry
-        stage of input-heavy workflows."""
+        The invocation client sits at/near the home region (§6.2) — the
+        estimator's ``client_region`` — so a plan that moves the start
+        node pays this transfer cross-region; without it the solver
+        would under-price offloading the entry stage of input-heavy
+        workflows."""
         ...
+
+
+class EstimatorStatsSink(Protocol):
+    """Counter sink the estimator increments (see ``SolverStats``)."""
+
+    simulations_run: int
+    samples_drawn: int
 
 
 @dataclass(frozen=True)
@@ -130,52 +164,72 @@ class PlanProfile:
 
     Attributes:
         latencies / costs: Per-sample end-to-end values.
-        exec_energy: Per-sample {region: kWh} (already PUE-adjusted).
-        route_bytes: Per-sample {(src_region, dst_region): bytes}.
+        energy_by_region: ``{region: (n,) kWh vector}`` (PUE-adjusted).
+        bytes_by_route: ``{(src_region, dst_region): (n,) byte vector}``.
+            Routes a plan *could* use are always present; a sample that
+            skipped a route simply holds 0 bytes there.
     """
 
     latencies: "np.ndarray"
     costs: "np.ndarray"
-    exec_energy: List[Dict[str, float]]
-    route_bytes: List[Dict[Tuple[str, str], float]]
+    energy_by_region: Dict[str, "np.ndarray"]
+    bytes_by_route: Dict[Tuple[str, str], "np.ndarray"]
     carbon_model: CarbonModel
 
     @property
     def n_samples(self) -> int:
         return len(self.latencies)
 
+    @property
+    def exec_energy(self) -> List[Dict[str, float]]:
+        """Back-compat per-sample view: ``[{region: kWh}, ...]``."""
+        return [
+            {
+                region: float(arr[i])
+                for region, arr in self.energy_by_region.items()
+                if arr[i] != 0.0
+            }
+            for i in range(self.n_samples)
+        ]
+
+    @property
+    def route_bytes(self) -> List[Dict[Tuple[str, str], float]]:
+        """Back-compat per-sample view: ``[{route: bytes}, ...]``."""
+        return [
+            {
+                route: float(arr[i])
+                for route, arr in self.bytes_by_route.items()
+                if arr[i] != 0.0
+            }
+            for i in range(self.n_samples)
+        ]
+
     def carbon_samples(
         self, carbon_at: Callable[[str], float]
     ) -> "np.ndarray":
         """Per-sample total carbon under the given hourly intensities."""
-        out = np.empty(self.n_samples)
-        for i in range(self.n_samples):
-            total = sum(
-                energy * carbon_at(region)
-                for region, energy in self.exec_energy[i].items()
+        out = self._exec_carbon_samples(carbon_at)
+        for (src, dst), sizes in self.bytes_by_route.items():
+            route_intensity = (carbon_at(src) + carbon_at(dst)) / 2.0
+            out = out + self.carbon_model.transmission_carbon_g_batch(
+                route_intensity=route_intensity,
+                size_bytes=sizes,
+                intra_region=(src == dst),
             )
-            for (src, dst), size in self.route_bytes[i].items():
-                route_intensity = (carbon_at(src) + carbon_at(dst)) / 2.0
-                total += self.carbon_model.transmission_carbon_g(
-                    route_intensity=route_intensity,
-                    size_bytes=size,
-                    intra_region=(src == dst),
-                )
-            out[i] = total
+        return out
+
+    def _exec_carbon_samples(
+        self, carbon_at: Callable[[str], float]
+    ) -> "np.ndarray":
+        out = np.zeros(self.n_samples)
+        for region, energy in self.energy_by_region.items():
+            out = out + energy * carbon_at(region)
         return out
 
     def estimate_at(self, carbon_at: Callable[[str], float]) -> WorkflowEstimate:
         """Full :class:`WorkflowEstimate` under the given intensities."""
         carbon = self.carbon_samples(carbon_at)
-        exec_only = np.array(
-            [
-                sum(
-                    energy * carbon_at(region)
-                    for region, energy in self.exec_energy[i].items()
-                )
-                for i in range(self.n_samples)
-            ]
-        )
+        exec_only = self._exec_carbon_samples(carbon_at)
         return WorkflowEstimate(
             mean_latency_s=float(self.latencies.mean()),
             tail_latency_s=float(np.percentile(self.latencies, 95)),
@@ -187,6 +241,42 @@ class PlanProfile:
             mean_trans_carbon_g=float((carbon - exec_only).mean()),
             n_samples=self.n_samples,
         )
+
+
+@dataclass
+class _BatchDraws:
+    """One batch worth of pre-drawn randomness (see determinism note)."""
+
+    n: int
+    cond: Dict[Tuple[str, str], "np.ndarray"]  # uniforms, conditional edges
+    input_sizes: "np.ndarray"
+    edge_sizes: Dict[Tuple[str, str], "np.ndarray"]
+    exec_times: Dict[str, "np.ndarray"]
+
+
+class _BatchAccumulators:
+    """Per-batch result arrays shared by both simulation kernels.
+
+    Energy/route keys are pre-registered from the plan's static pricing
+    schedule (every region and route the plan *could* touch, in
+    processing order) so both kernels accumulate — and later sum — in
+    exactly the same key order, which the bit-identity guarantee needs.
+    """
+
+    def __init__(self, n: int):
+        self.n = n
+        self.latency = np.zeros(n)
+        self.cost = np.zeros(n)
+        self.energy: Dict[str, np.ndarray] = {}
+        self.route_bytes: Dict[Tuple[str, str], np.ndarray] = {}
+
+    def touch_energy(self, region: str) -> None:
+        if region not in self.energy:
+            self.energy[region] = np.zeros(self.n)
+
+    def touch_route(self, src: str, dst: str) -> None:
+        if (src, dst) not in self.route_bytes:
+            self.route_bytes[(src, dst)] = np.zeros(self.n)
 
 
 class MonteCarloEstimator:
@@ -201,9 +291,12 @@ class MonteCarloEstimator:
         latency_model: TransferLatencyModel,
         rng: np.random.Generator,
         kv_region: Optional[str] = None,
+        client_region: Optional[str] = None,
         batch_size: int = BATCH_SIZE,
         max_samples: int = MAX_SAMPLES,
         cov_threshold: float = COV_THRESHOLD,
+        vectorized: bool = True,
+        stats: Optional[EstimatorStatsSink] = None,
     ):
         """Args:
         dag: The workflow structure.
@@ -213,8 +306,20 @@ class MonteCarloEstimator:
         kv_region: Region hosting the distributed KV store; sync-node
             intermediate data is relayed through it (§4 / Fig. 5).
             Defaults to the plan's start-node region per evaluation.
+        client_region: Region the invocation client sits at/near (§6.2)
+            — the source of the end-user input transfer.  The
+            :class:`~repro.core.solver.evaluation.PlanEvaluator` threads
+            the workflow home region here; when ``None`` the estimator
+            falls back to ``kv_region`` and then to the plan's
+            start-node region (so a shifted start node would be priced
+            as free input transfer — pass it explicitly).
         batch_size / max_samples / cov_threshold: Stopping rule knobs
             (paper defaults: 200 / 2000 / 0.05).
+        vectorized: Use the numpy-batched kernel (default).  ``False``
+            selects the retained scalar reference path, kept for
+            differential testing and the throughput benchmark.
+        stats: Optional counter sink (``SolverStats``); the estimator
+            increments ``simulations_run`` and ``samples_drawn``.
         """
         self._dag = dag
         self._data = data
@@ -223,9 +328,12 @@ class MonteCarloEstimator:
         self._latency = latency_model
         self._rng = rng
         self._kv_region = kv_region
+        self._client_region = client_region
         self._batch = batch_size
         self._max = max_samples
         self._cov = cov_threshold
+        self._vectorized = vectorized
+        self._stats = stats
         self._order = dag.topological_order()
 
     def estimate(
@@ -240,10 +348,6 @@ class MonteCarloEstimator:
             carbon_at: ``region -> gCO2eq/kWh`` at the hour under
                 evaluation (actual or forecast intensity).
         """
-        if not plan.covers(self._dag):
-            missing = set(self._dag.node_names) - set(plan.assignments)
-            raise ValueError(f"plan does not cover nodes: {sorted(missing)}")
-
         return self.estimate_profile(plan).estimate_at(carbon_at)
 
     def estimate_profile(self, plan: DeploymentPlan) -> PlanProfile:
@@ -256,56 +360,327 @@ class MonteCarloEstimator:
             missing = set(self._dag.node_names) - set(plan.assignments)
             raise ValueError(f"plan does not cover nodes: {sorted(missing)}")
 
-        latencies: List[float] = []
-        costs: List[float] = []
-        energies: List[Dict[str, float]] = []
-        routes: List[Dict[Tuple[str, str], float]] = []
-
-        while len(latencies) < self._max:
-            for _ in range(self._batch):
-                lat, cost, energy, route = self._simulate_once(plan)
-                latencies.append(lat)
-                costs.append(cost)
-                energies.append(energy)
-                routes.append(route)
+        batches: List[_BatchAccumulators] = []
+        n_total = 0
+        while n_total < self._max:
+            draws = self._draw_batch(plan, self._batch)
+            acc = self._make_accumulators(plan, draws.n)
+            if self._vectorized:
+                self._simulate_batch(plan, draws, acc)
+            else:
+                self._simulate_batch_reference(plan, draws, acc)
+            batches.append(acc)
+            n_total += draws.n
+            latencies = np.concatenate([b.latency for b in batches])
+            costs = np.concatenate([b.cost for b in batches])
             if self._converged(latencies, costs):
                 break
 
+        if self._stats is not None:
+            self._stats.simulations_run += 1
+            self._stats.samples_drawn += n_total
+
+        first = batches[0]
         return PlanProfile(
-            latencies=np.asarray(latencies),
-            costs=np.asarray(costs),
-            exec_energy=energies,
-            route_bytes=routes,
+            latencies=latencies,
+            costs=costs,
+            energy_by_region={
+                region: np.concatenate([b.energy[region] for b in batches])
+                for region in first.energy
+            },
+            bytes_by_route={
+                route: np.concatenate([b.route_bytes[route] for b in batches])
+                for route in first.route_bytes
+            },
             carbon_model=self._carbon,
         )
 
     # -- internals -----------------------------------------------------------
-    def _converged(self, *series: List[float]) -> bool:
+    def _converged(self, *series: "np.ndarray") -> bool:
+        """Relative-standard-error stopping rule, with the degenerate
+        cases handled explicitly:
+
+        * fewer than two samples: never converged (``std(ddof=1)`` of a
+          single sample is NaN, which would silently compare False);
+        * exactly zero variance: converged — the series is
+          deterministic, whatever its mean (including 0, e.g. a cost
+          series under all-free pricing);
+        * non-positive mean with spread: *not* converged — a relative
+          error is meaningless there, so sampling continues to the cap
+          rather than stopping blind.
+        """
         for values in series:
             arr = np.asarray(values)
+            if arr.size < 2:
+                return False
+            std = arr.std(ddof=1)
+            if std == 0.0:
+                continue
             mean = arr.mean()
             if mean <= 0:
-                continue
-            rel_stderr = arr.std(ddof=1) / math.sqrt(len(arr)) / mean
-            if rel_stderr >= self._cov:
+                return False
+            if std / math.sqrt(arr.size) / mean >= self._cov:
                 return False
         return True
 
-    def _simulate_once(
-        self, plan: DeploymentPlan
-    ) -> Tuple[float, float, Dict[str, float], Dict[Tuple[str, str], float]]:
-        """One simulation: returns (latency_s, cost_usd, {region: kWh},
-        {(src_region, dst_region): bytes})."""
+    def _client_and_kv(self, plan: DeploymentPlan) -> Tuple[str, str]:
+        """Resolve the client and KV regions for one evaluation."""
+        kv = self._kv_region or plan.region_of(self._dag.start_node)
+        client = self._client_region or kv
+        return client, kv
+
+    def _draw_batch(self, plan: DeploymentPlan, n: int) -> _BatchDraws:
+        """Draw one batch of randomness in the canonical order (see the
+        determinism note in the module docstring)."""
         dag = self._dag
         rng = self._rng
-        kv_region = self._kv_region or plan.region_of(dag.start_node)
+        cond: Dict[Tuple[str, str], np.ndarray] = {}
+        cond_edges = [e for e in dag.edges if e.conditional]
+        if cond_edges:
+            uniforms = rng.random((n, len(cond_edges)))
+            for j, e in enumerate(cond_edges):
+                cond[(e.src, e.dst)] = uniforms[:, j]
+        input_sizes = self._data.input_size_dist().sample_batch(rng, n)
+        edge_sizes: Dict[Tuple[str, str], np.ndarray] = {}
+        exec_times: Dict[str, np.ndarray] = {}
+        for node in self._order:
+            for e in dag.in_edges(node):
+                edge_sizes[(e.src, e.dst)] = self._data.edge_size_dist(
+                    e.src, e.dst
+                ).sample_batch(rng, n)
+            region = plan.region_of(node)
+            exec_times[node] = self._data.execution_time_dist(
+                node, region
+            ).sample_batch(rng, n)
+        return _BatchDraws(
+            n=n,
+            cond=cond,
+            input_sizes=input_sizes,
+            edge_sizes=edge_sizes,
+            exec_times=exec_times,
+        )
+
+    def _make_accumulators(
+        self, plan: DeploymentPlan, n: int
+    ) -> _BatchAccumulators:
+        """Pre-register every energy region and byte route the plan can
+        touch, in processing order, so both kernels share key order."""
+        dag = self._dag
+        client, kv = self._client_and_kv(plan)
+        acc = _BatchAccumulators(n)
+        for node in self._order:
+            region = plan.region_of(node)
+            in_edges = dag.in_edges(node)
+            if not in_edges:
+                acc.touch_route(client, region)
+            else:
+                is_sync = dag.is_sync_node(node)
+                for e in in_edges:
+                    src_region = plan.region_of(e.src)
+                    if is_sync:
+                        acc.touch_route(src_region, kv)
+                        acc.touch_route(kv, region)
+                    else:
+                        acc.touch_route(src_region, region)
+            ext_region, ext_bytes = self._data.node_external_bytes(node)
+            if ext_region is not None and ext_bytes > 0:
+                acc.touch_route(ext_region, region)
+            acc.touch_energy(region)
+        return acc
+
+    def _edge_taken(
+        self, draws: _BatchDraws
+    ) -> Dict[Tuple[str, str], "np.ndarray"]:
+        """Realise every edge for the whole batch: ``(n,)`` bool masks."""
+        taken: Dict[Tuple[str, str], np.ndarray] = {}
+        always = np.ones(draws.n, dtype=bool)
+        for e in self._dag.edges:
+            if e.conditional:
+                p = self._data.edge_probability(e.src, e.dst)
+                taken[(e.src, e.dst)] = draws.cond[(e.src, e.dst)] < p
+            else:
+                taken[(e.src, e.dst)] = always
+        return taken
+
+    def _simulate_batch(
+        self, plan: DeploymentPlan, draws: _BatchDraws, acc: _BatchAccumulators
+    ) -> None:
+        """The vectorized kernel: one topological walk prices the whole
+        batch with ``(n,)`` array ops instead of ``n`` Python walks."""
+        dag = self._dag
+        n = draws.n
+        client, kv_region = self._client_and_kv(plan)
+        taken = self._edge_taken(draws)
+
+        executed: Dict[str, np.ndarray] = {}
+        finish: Dict[str, np.ndarray] = {}
+        cost = acc.cost
+
+        for node in self._order:
+            in_edges = dag.in_edges(node)
+            region = plan.region_of(node)
+            if not in_edges:
+                exec_mask = np.ones(n, dtype=bool)
+                # The end-user input arrives from the client near the
+                # home region (§6.2); a shifted start node pays for it.
+                sizes = draws.input_sizes
+                arrival = self._latency.estimate_batch(client, region, sizes)
+                acc.route_bytes[(client, region)] += sizes
+                cost += self._cost.transmission_cost_batch(client, region, sizes)
+            else:
+                is_sync = dag.is_sync_node(node)
+                exec_mask = np.zeros(n, dtype=bool)
+                arrival = np.zeros(n)
+                for e in in_edges:
+                    active = taken[(e.src, e.dst)] & executed[e.src]
+                    if not active.any():
+                        continue
+                    src_region = plan.region_of(e.src)
+                    sizes = draws.edge_sizes[(e.src, e.dst)]
+                    masked_sizes = np.where(active, sizes, 0.0)
+                    if is_sync:
+                        # Fan-in data is relayed through the KV store
+                        # (Fig. 5): src -> KV region -> sync node.
+                        hop1 = self._latency.estimate_batch(
+                            src_region, kv_region, sizes
+                        )
+                        hop2 = self._latency.estimate_batch(
+                            kv_region, region, sizes
+                        )
+                        edge_latency = hop1 + hop2
+                        acc.route_bytes[(src_region, kv_region)] += masked_sizes
+                        acc.route_bytes[(kv_region, region)] += masked_sizes
+                        cost += np.where(
+                            active,
+                            self._cost.transmission_cost_batch(
+                                src_region, kv_region, sizes
+                            ),
+                            0.0,
+                        )
+                        cost += np.where(
+                            active,
+                            self._cost.transmission_cost_batch(
+                                kv_region, region, sizes
+                            ),
+                            0.0,
+                        )
+                        # Annotation update + data write + data read.
+                        cost += np.where(
+                            active,
+                            self._cost.kv_cost(kv_region, n_reads=1, n_writes=2),
+                            0.0,
+                        )
+                    else:
+                        edge_latency = self._latency.estimate_batch(
+                            src_region, region, sizes
+                        )
+                        acc.route_bytes[(src_region, region)] += masked_sizes
+                        cost += np.where(
+                            active,
+                            self._cost.transmission_cost_batch(
+                                src_region, region, sizes
+                            ),
+                            0.0,
+                        )
+                    # One SNS publish per taken edge (§6.2).
+                    cost += np.where(
+                        active, self._cost.messaging_cost(region), 0.0
+                    )
+                    arrival = np.where(
+                        active,
+                        np.maximum(arrival, finish[e.src] + edge_latency),
+                        arrival,
+                    )
+                    exec_mask = exec_mask | active
+
+            durations = draws.exec_times[node]
+            # Fixed external data reads follow the node when it moves
+            # (§9.1: external storage stays at the home region).
+            ext_region, ext_bytes = self._data.node_external_bytes(node)
+            if ext_region is not None and ext_bytes > 0:
+                durations = durations + self._latency.estimate(
+                    ext_region, region, ext_bytes
+                )
+                acc.route_bytes[(ext_region, region)] += np.where(
+                    exec_mask, ext_bytes, 0.0
+                )
+                cost += np.where(
+                    exec_mask,
+                    self._cost.transmission_cost(ext_region, region, ext_bytes),
+                    0.0,
+                )
+
+            finish[node] = arrival + durations
+            executed[node] = exec_mask
+            memory = self._data.node_memory_mb(node)
+            n_vcpu = self._data.node_vcpu(node)
+            util = self._data.node_cpu_utilization(node)
+            energy = (
+                self._carbon.execution_energy_kwh_batch(
+                    durations_s=durations,
+                    memory_mb=memory,
+                    n_vcpu=n_vcpu,
+                    cpu_total_times_s=durations * n_vcpu * util,
+                )
+                * self._carbon.pue
+            )
+            acc.energy[region] += np.where(exec_mask, energy, 0.0)
+            cost += np.where(
+                exec_mask,
+                self._cost.execution_cost_batch(region, durations, memory),
+                0.0,
+            )
+            # Per-execution DP retrieval from the KV store (§6.2).
+            cost += np.where(
+                exec_mask, self._cost.kv_cost(kv_region, n_reads=1), 0.0
+            )
+
+        latency = np.full(n, -np.inf)
+        for node in self._order:
+            latency = np.where(
+                executed[node], np.maximum(latency, finish[node]), latency
+            )
+        acc.latency[:] = np.where(np.isfinite(latency), latency, 0.0)
+
+    def _simulate_batch_reference(
+        self, plan: DeploymentPlan, draws: _BatchDraws, acc: _BatchAccumulators
+    ) -> None:
+        """The scalar reference path: walks the DAG one sample at a time
+        exactly like the pre-vectorization ``_simulate_once``, but reads
+        the shared pre-drawn batch so it stays bit-comparable to the
+        vectorized kernel.  Kept for differential testing and as the
+        baseline of ``benchmarks/test_estimator_throughput.py``."""
+        dag = self._dag
+        client, kv_region = self._client_and_kv(plan)
+        edge_prob = {
+            (e.src, e.dst): self._data.edge_probability(e.src, e.dst)
+            for e in dag.edges
+            if e.conditional
+        }
+        for i in range(draws.n):
+            self._simulate_once(plan, draws, i, acc, client, kv_region, edge_prob)
+
+    def _simulate_once(
+        self,
+        plan: DeploymentPlan,
+        draws: _BatchDraws,
+        i: int,
+        acc: _BatchAccumulators,
+        client: str,
+        kv_region: str,
+        edge_prob: Dict[Tuple[str, str], float],
+    ) -> None:
+        """One scalar simulation, writing sample ``i`` of the batch."""
+        dag = self._dag
 
         # 1. Realise the conditional edges.
         edge_taken: Dict[Tuple[str, str], bool] = {}
         for edge in dag.edges:
             if edge.conditional:
-                p = self._data.edge_probability(edge.src, edge.dst)
-                edge_taken[(edge.src, edge.dst)] = bool(rng.random() < p)
+                u = float(draws.cond[(edge.src, edge.dst)][i])
+                edge_taken[(edge.src, edge.dst)] = u < edge_prob[
+                    (edge.src, edge.dst)
+                ]
             else:
                 edge_taken[(edge.src, edge.dst)] = True
 
@@ -313,24 +688,16 @@ class MonteCarloEstimator:
         executed: Dict[str, bool] = {}
         finish: Dict[str, float] = {}
         cost = 0.0
-        energy: Dict[str, float] = {}
-        route_bytes: Dict[Tuple[str, str], float] = {}
 
-        def add_transfer(src: str, dst: str, size: float) -> None:
-            route_bytes[(src, dst)] = route_bytes.get((src, dst), 0.0) + size
-
-        home = self._kv_region if self._kv_region else plan.region_of(dag.start_node)
         for node in self._order:
             in_edges = dag.in_edges(node)
+            region = plan.region_of(node)
             if not in_edges:
                 executed[node] = True
-                # The end-user input arrives from the client near the
-                # home region (§6.2); a shifted start node pays for it.
-                start_region = plan.region_of(node)
-                input_size = float(self._data.input_size_dist().sample(rng))
-                arrival = self._latency.estimate(home, start_region, input_size)
-                add_transfer(home, start_region, input_size)
-                cost += self._cost.transmission_cost(home, start_region, input_size)
+                input_size = float(draws.input_sizes[i])
+                arrival = self._latency.estimate(client, region, input_size)
+                acc.route_bytes[(client, region)][i] += input_size
+                cost += self._cost.transmission_cost(client, region, input_size)
             else:
                 taken_from = [
                     e
@@ -345,55 +712,45 @@ class MonteCarloEstimator:
                 arrival = 0.0
                 for e in taken_from:
                     src_region = plan.region_of(e.src)
-                    dst_region = plan.region_of(node)
-                    size = float(
-                        self._data.edge_size_dist(e.src, e.dst).sample(rng)
-                    )
+                    size = float(draws.edge_sizes[(e.src, e.dst)][i])
                     if is_sync:
-                        # Fan-in data is relayed through the KV store
-                        # (Fig. 5): src -> KV region -> sync node.
                         hop1 = self._latency.estimate(src_region, kv_region, size)
-                        hop2 = self._latency.estimate(kv_region, dst_region, size)
+                        hop2 = self._latency.estimate(kv_region, region, size)
                         edge_latency = hop1 + hop2
-                        add_transfer(src_region, kv_region, size)
-                        add_transfer(kv_region, dst_region, size)
+                        acc.route_bytes[(src_region, kv_region)][i] += size
+                        acc.route_bytes[(kv_region, region)][i] += size
                         cost += self._cost.transmission_cost(
                             src_region, kv_region, size
                         )
                         cost += self._cost.transmission_cost(
-                            kv_region, dst_region, size
+                            kv_region, region, size
                         )
-                        # Annotation update + data write + data read.
                         cost += self._cost.kv_cost(kv_region, n_reads=1, n_writes=2)
                     else:
                         edge_latency = self._latency.estimate(
-                            src_region, dst_region, size
+                            src_region, region, size
                         )
-                        add_transfer(src_region, dst_region, size)
+                        acc.route_bytes[(src_region, region)][i] += size
                         cost += self._cost.transmission_cost(
-                            src_region, dst_region, size
+                            src_region, region, size
                         )
-                    # One SNS publish per taken edge (§6.2).
-                    cost += self._cost.messaging_cost(dst_region)
+                    cost += self._cost.messaging_cost(region)
                     arrival = max(arrival, finish[e.src] + edge_latency)
 
-            region = plan.region_of(node)
-            duration = float(
-                self._data.execution_time_dist(node, region).sample(rng)
-            )
-            # Fixed external data reads follow the node when it moves
-            # (§9.1: external storage stays at the home region).
+            duration = float(draws.exec_times[node][i])
             ext_region, ext_bytes = self._data.node_external_bytes(node)
             if ext_region is not None and ext_bytes > 0:
-                duration += self._latency.estimate(ext_region, region, ext_bytes)
-                add_transfer(ext_region, region, ext_bytes)
+                duration = duration + self._latency.estimate(
+                    ext_region, region, ext_bytes
+                )
+                acc.route_bytes[(ext_region, region)][i] += ext_bytes
                 cost += self._cost.transmission_cost(ext_region, region, ext_bytes)
 
             finish[node] = arrival + duration
             memory = self._data.node_memory_mb(node)
             n_vcpu = self._data.node_vcpu(node)
             util = self._data.node_cpu_utilization(node)
-            energy[region] = energy.get(region, 0.0) + (
+            acc.energy[region][i] += (
                 self._carbon.execution_energy_kwh(
                     duration_s=duration,
                     memory_mb=memory,
@@ -403,10 +760,9 @@ class MonteCarloEstimator:
                 * self._carbon.pue
             )
             cost += self._cost.execution_cost(region, duration, memory)
-            # Per-execution DP retrieval from the KV store (§6.2).
             cost += self._cost.kv_cost(kv_region, n_reads=1)
 
-        latency = max(
+        acc.latency[i] = max(
             (finish[n] for n in finish if executed.get(n, False)), default=0.0
         )
-        return latency, cost, energy, route_bytes
+        acc.cost[i] = cost

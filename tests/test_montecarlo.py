@@ -210,6 +210,179 @@ class TestEstimates:
         assert ("us-east-1", "us-west-1") in routes  # KV -> d
 
 
+class RichData(FixtureData):
+    """Wider distributions + external data: exercises every code path
+    (bootstrap variety, conditional edges, sync relay, pinned data,
+    non-trivial input sizes) for the differential test."""
+
+    def execution_time_dist(self, node, region):
+        base = self.exec_seconds * (1.0 + 0.1 * (ord(node[0]) % 5))
+        if region == self.slow_region:
+            base *= 3.0
+        return EmpiricalDistribution([base * f for f in (0.7, 0.9, 1.0, 1.3, 2.1)])
+
+    def edge_size_dist(self, src, dst):
+        return EmpiricalDistribution(
+            [self.edge_bytes * f for f in (0.5, 1.0, 1.5, 4.0)]
+        )
+
+    def node_external_bytes(self, node):
+        if node == "b":
+            return "us-east-1", 25e6
+        return None, 0.0
+
+    def input_size_dist(self):
+        return EmpiricalDistribution([1e6, 5e6, 20e6])
+
+
+class TestDifferential:
+    """The vectorized kernel and the scalar reference path must be
+    bit-identical from identical seeds (same RNG stream, same arithmetic
+    order per element)."""
+
+    def _profile(self, dag, plan, vectorized, **kwargs):
+        est = make_estimator(
+            dag,
+            RichData(cond_prob=0.5, edge_bytes=2e6),
+            seed=123,
+            kv_region="us-east-1",
+            client_region="us-east-1",
+            vectorized=vectorized,
+            batch_size=50,
+            max_samples=200,
+            cov_threshold=1e-9,  # force the full 200 samples in both
+            **kwargs,
+        )
+        return est.estimate_profile(plan)
+
+    def test_profiles_bit_identical(self, diamond_dag):
+        plan = DeploymentPlan(
+            {"a": "us-west-1", "b": "us-east-1", "c": "ca-central-1",
+             "d": "us-west-2"}
+        )
+        vec = self._profile(diamond_dag, plan, vectorized=True)
+        ref = self._profile(diamond_dag, plan, vectorized=False)
+        assert vec.n_samples == ref.n_samples == 200
+        assert np.array_equal(vec.latencies, ref.latencies)
+        assert np.array_equal(vec.costs, ref.costs)
+        assert list(vec.energy_by_region) == list(ref.energy_by_region)
+        for region in vec.energy_by_region:
+            assert np.array_equal(
+                vec.energy_by_region[region], ref.energy_by_region[region]
+            )
+        assert list(vec.bytes_by_route) == list(ref.bytes_by_route)
+        for route in vec.bytes_by_route:
+            assert np.array_equal(
+                vec.bytes_by_route[route], ref.bytes_by_route[route]
+            )
+
+    def test_estimates_bit_identical(self, diamond_dag):
+        plan = DeploymentPlan(
+            {"a": "us-east-1", "b": "us-west-1", "c": "us-east-1",
+             "d": "ca-central-1"}
+        )
+        intensities = {"us-east-1": 400.0, "us-west-1": 375.0,
+                       "us-west-2": 392.0, "ca-central-1": 34.0}
+        vec = self._profile(diamond_dag, plan, vectorized=True)
+        ref = self._profile(diamond_dag, plan, vectorized=False)
+        # Frozen-dataclass equality compares every float field exactly.
+        assert vec.estimate_at(lambda r: intensities[r]) == ref.estimate_at(
+            lambda r: intensities[r]
+        )
+
+    def test_chain_profiles_bit_identical(self, chain_dag):
+        plan = DeploymentPlan(
+            {"a": "us-west-2", "b": "ca-central-1", "c": "us-east-1"}
+        )
+        vec = self._profile(chain_dag, plan, vectorized=True)
+        ref = self._profile(chain_dag, plan, vectorized=False)
+        assert np.array_equal(vec.latencies, ref.latencies)
+        assert np.array_equal(vec.costs, ref.costs)
+
+
+class TestClientRegion:
+    """The invocation client is distinct from the KV region: shifting
+    the start node must not make the end-user input transfer free."""
+
+    class InputHeavy(FixtureData):
+        def input_size_dist(self):
+            return EmpiricalDistribution([50e6])
+
+    def test_shifted_start_node_pays_input_transfer(self, chain_dag):
+        est = make_estimator(
+            chain_dag, self.InputHeavy(edge_bytes=1e3),
+            scenario=TransmissionScenario.worst_case(),
+            client_region="us-east-1",
+        )
+        shifted = DeploymentPlan.single_region(chain_dag, "us-west-1")
+        profile = est.estimate_profile(shifted)
+        # Input bytes cross from the client to the shifted start node.
+        assert ("us-east-1", "us-west-1") in profile.bytes_by_route
+        assert np.all(
+            profile.bytes_by_route[("us-east-1", "us-west-1")] == 50e6
+        )
+
+    def test_default_client_follows_kv_then_plan(self, chain_dag):
+        # Without client_region or kv_region the legacy fallback keeps
+        # the client co-located with the start node (documented).
+        est = make_estimator(chain_dag, self.InputHeavy(edge_bytes=1e3))
+        shifted = DeploymentPlan.single_region(chain_dag, "us-west-1")
+        profile = est.estimate_profile(shifted)
+        assert ("us-west-1", "us-west-1") in profile.bytes_by_route
+        assert ("us-east-1", "us-west-1") not in profile.bytes_by_route
+
+    def test_input_transfer_raises_carbon_when_shifted(self, chain_dag):
+        # Worst case: intra free, inter expensive.  With an explicit
+        # client the shifted plan shows input-transfer carbon; the
+        # home plan does not.
+        worst = TransmissionScenario.worst_case()
+        est = make_estimator(
+            chain_dag, self.InputHeavy(edge_bytes=1e3), scenario=worst,
+            client_region="us-east-1",
+        )
+        home = est.estimate(
+            DeploymentPlan.single_region(chain_dag, "us-east-1"),
+            lambda r: 400.0,
+        )
+        est2 = make_estimator(
+            chain_dag, self.InputHeavy(edge_bytes=1e3), scenario=worst,
+            client_region="us-east-1",
+        )
+        shifted = est2.estimate(
+            DeploymentPlan.single_region(chain_dag, "us-west-1"),
+            lambda r: 400.0,
+        )
+        assert shifted.mean_trans_carbon_g > home.mean_trans_carbon_g
+
+
+class TestConvergence:
+    """Degenerate-series behaviour of the stopping rule."""
+
+    def test_single_sample_never_converges(self, chain_dag):
+        est = make_estimator(chain_dag)
+        assert not est._converged(np.array([1.0]))
+
+    def test_zero_variance_converges(self, chain_dag):
+        est = make_estimator(chain_dag)
+        assert est._converged(np.full(5, 3.7))
+
+    def test_zero_variance_zero_mean_converges(self, chain_dag):
+        # A deterministic all-zero series (e.g. cost under free pricing)
+        # is fully known — it must not stall sampling, nor (the old bug)
+        # count as converged merely because mean <= 0.
+        est = make_estimator(chain_dag)
+        assert est._converged(np.zeros(5))
+
+    def test_nonpositive_mean_with_spread_not_converged(self, chain_dag):
+        est = make_estimator(chain_dag)
+        assert not est._converged(np.array([-1.0, 1.0] * 50))
+        assert not est._converged(np.array([-3.0, -1.0] * 50))
+
+    def test_wide_series_not_converged(self, chain_dag):
+        est = make_estimator(chain_dag)
+        assert not est._converged(np.array([0.1, 100.0, 0.2, 90.0]))
+
+
 class TestPlanProfile:
     def test_profile_repricing_matches_direct_estimate(self, diamond_dag):
         plan = DeploymentPlan.single_region(diamond_dag, "us-east-1")

@@ -10,7 +10,9 @@ from repro.core.solver import (
     HBSSSolver,
     PlanEvaluator,
     SolverSettings,
+    SolverStats,
 )
+from repro.model.dag import Edge, Node, WorkflowDAG
 from repro.data.latency import LatencySource
 from repro.data.pricing import PricingSource
 from repro.metrics.carbon import CarbonModel, TransmissionScenario
@@ -68,12 +70,12 @@ def intensity_fn(region, hour):
 
 
 def make_evaluator(dag, config=None, data=None, settings=None,
-                   scenario=None, seed=0):
+                   scenario=None, seed=0, regions=REGIONS):
     return PlanEvaluator(
         dag=dag,
         config=config or WorkflowConfig(home_region="us-east-1"),
         data=data or FixtureData(),
-        regions=REGIONS,
+        regions=regions,
         intensity_fn=intensity_fn,
         carbon_model=CarbonModel(scenario or TransmissionScenario.best_case()),
         cost_model=CostModel(PricingSource()),
@@ -82,6 +84,16 @@ def make_evaluator(dag, config=None, data=None, settings=None,
         settings=settings or SolverSettings(batch_size=40, max_samples=120,
                                             cov_threshold=0.1),
     )
+
+
+def tiny_dag() -> WorkflowDAG:
+    """a -> b: a 2-node space HBSS can exhaust within its alpha budget."""
+    dag = WorkflowDAG("tiny")
+    for name in ("a", "b"):
+        dag.add_node(Node(name=name, function=name))
+    dag.add_edge(Edge("a", "b"))
+    dag.validate()
+    return dag
 
 
 class TestPlanEvaluator:
@@ -216,6 +228,36 @@ class TestHBSS:
         with pytest.raises(ValueError):
             solver.solve_day(hours=[])
 
+    def test_complete_exploration_terminates(self):
+        # 2 nodes x 2 regions = 4 plans: the run must stop via complete
+        # exploration (Alg. 1 line 9) with every distinct plan memoized,
+        # well before the alpha = 2*2*6 = 24 iteration budget.
+        ev = make_evaluator(tiny_dag(), regions=("us-east-1", "us-west-1"))
+        solver = HBSSSolver(ev, np.random.default_rng(0))
+        result = solver.solve_hour(0)
+        assert ev.search_space_size() == 4
+        assert result.plans_evaluated == 4
+        assert result.iterations < 24
+
+    def test_complete_exploration_counts_tolerance_violators(self):
+        # Plans that violate QoS tolerances are still *evaluated* and
+        # must count toward complete exploration — previously they were
+        # never memoized, so line 9 could not fire on a space where any
+        # plan violates.
+        config = WorkflowConfig(
+            home_region="us-east-1", tolerances=Tolerances(latency=0.0)
+        )
+        ev = make_evaluator(
+            tiny_dag(), config=config, data=FixtureData(exec_seconds=0.2),
+            regions=("us-east-1", "us-west-1"),
+        )
+        solver = HBSSSolver(ev, np.random.default_rng(0))
+        result = solver.solve_hour(0)
+        assert result.plans_evaluated == ev.search_space_size() == 4
+        # Cross-continent plans violate the 0% latency budget, yet the
+        # run still terminates by exhaustion, not the iteration budget.
+        assert result.iterations < 24
+
     def test_offloaded_nodes_signal(self, chain_dag):
         from repro.core.solver.hbss import SolveResult
         from repro.metrics.montecarlo import WorkflowEstimate
@@ -226,9 +268,11 @@ class TestHBSS:
             best_plan=DeploymentPlan(
                 {"a": "us-east-1", "b": "us-east-1", "c": "ca-central-1"}
             ),
-            best_estimate=est, iterations=1, accepted=1, feasible_found=1,
+            best_estimate=est, iterations=1, accepted=1, plans_evaluated=1,
         )
         assert res.offloaded_nodes == ("c",)
+        with pytest.deprecated_call():
+            assert res.feasible_found == 1
 
 
 class TestCoarseSolver:
@@ -306,3 +350,62 @@ class TestSolverSettings:
             SolverSettings(beta=1.5)
         with pytest.raises(ValueError):
             SolverSettings(alpha_per_node_region=0)
+
+    def test_monte_carlo_knob_validation(self):
+        with pytest.raises(ValueError, match="cov_threshold"):
+            SolverSettings(cov_threshold=0.0)
+        with pytest.raises(ValueError, match="cov_threshold"):
+            SolverSettings(cov_threshold=-0.1)
+
+    def test_hbss_knob_validation(self):
+        with pytest.raises(ValueError, match="gamma "):
+            SolverSettings(gamma=-0.5)
+        with pytest.raises(ValueError, match="gamma_decay"):
+            SolverSettings(gamma_decay=0.0)
+        with pytest.raises(ValueError, match="gamma_decay"):
+            SolverSettings(gamma_decay=1.01)
+        SolverSettings(gamma=0.0, gamma_decay=1.0)  # boundary values OK
+
+
+class TestSolverStats:
+    def test_profile_and_estimate_counters(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        plan = ev.home_plan()
+        ev.estimate(plan, 0)
+        assert ev.stats.profiles_built == 1
+        assert ev.stats.simulations_run == 1
+        assert ev.stats.samples_drawn > 0
+        assert ev.stats.estimates_computed == 1
+        ev.estimate(plan, 0)  # estimate cache hit
+        assert ev.stats.estimate_cache_hits == 1
+        ev.estimate(plan, 5)  # new hour: profile cache hit, new estimate
+        assert ev.stats.profile_cache_hits >= 1
+        assert ev.stats.estimates_computed == 2
+        assert ev.stats.simulations_run == 1  # no re-simulation
+
+    def test_hbss_accumulates_wall_time(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        solver = HBSSSolver(ev, np.random.default_rng(1))
+        solver.solve_hour(0)
+        assert ev.stats.wall_time_s > 0.0
+
+    def test_shared_stats_object(self, chain_dag):
+        stats = SolverStats()
+        ev = PlanEvaluator(
+            dag=chain_dag,
+            config=WorkflowConfig(home_region="us-east-1"),
+            data=FixtureData(),
+            regions=REGIONS,
+            intensity_fn=intensity_fn,
+            carbon_model=CarbonModel(TransmissionScenario.best_case()),
+            cost_model=CostModel(PricingSource()),
+            latency_model=TransferLatencyModel(LatencySource()),
+            rng=np.random.default_rng(0),
+            settings=SolverSettings(batch_size=40, max_samples=120,
+                                    cov_threshold=0.1),
+            stats=stats,
+        )
+        ev.estimate(ev.home_plan(), 0)
+        assert stats is ev.stats
+        assert stats.simulations_run == 1
+        assert "simulations" in stats.summary()
