@@ -14,7 +14,6 @@
 """
 
 import numpy as np
-import pytest
 
 from conftest import print_header
 from repro.data.carbon import CarbonIntensitySource, generate_carbon_trace

@@ -7,7 +7,6 @@ estimate error (vs a 20,000-sample reference) and samples spent.
 """
 
 import numpy as np
-import pytest
 
 from conftest import print_header
 from repro.data.latency import LatencySource

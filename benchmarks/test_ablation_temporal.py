@@ -14,7 +14,6 @@ the TemporalShifter with a 6-hour deadline.
 """
 
 import numpy as np
-import pytest
 
 from conftest import BENCH_SOLVER, print_header
 from repro.apps import get_app

@@ -16,7 +16,6 @@ Shape assertions (the paper's insights):
 """
 
 import numpy as np
-import pytest
 
 from conftest import (
     COARSE_REGIONS,

@@ -11,7 +11,6 @@ modelled energy split, as in the paper.
 import math
 
 import numpy as np
-import pytest
 
 from conftest import INPUT_SIZES, normalized_carbon, print_header
 from repro.apps import ALL_APPS

@@ -6,7 +6,6 @@ from declared metadata), then checked against the paper's sync /
 conditional / input-size columns.
 """
 
-import pytest
 
 from conftest import print_header
 from repro.apps import ALL_APPS, get_app

@@ -10,7 +10,6 @@ not by reading a constant.
 """
 
 import numpy as np
-import pytest
 
 from conftest import print_header
 from repro.apps import get_app

@@ -17,12 +17,9 @@ This example contrasts three strategies:
 Run:  python examples/compliance_constrained_shifting.py
 """
 
-import numpy as np
 
 from repro.apps import get_app
 from repro.cloud.provider import SimulatedCloud
-from repro.common.errors import SolverError
-from repro.core.solver import CoarseSolver
 from repro.experiments.harness import (
     deploy_benchmark,
     run_caribou,
@@ -56,7 +53,6 @@ def main() -> None:
     # option (ca-central-1) is off the table for the whole workflow.
     warm_up(executor, app, "small", n=8)
     from repro.core.manager import DeploymentManager  # noqa: F401  (docs)
-    from repro.core.solver import PlanEvaluator  # via harness solve below
 
     plan_set = solve_plan_set(deployed, executor, scenario)
     # Show what coarse could have done: best compliant single region.

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
 
 from repro.core.api import Payload, Workflow
 from repro.model.config import Tolerances, WorkflowConfig

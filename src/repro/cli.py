@@ -15,13 +15,16 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.apps import ALL_APPS, get_app
+from repro.cloud.faults import FaultPlan
 from repro.cloud.provider import SimulatedCloud
+from repro.common.clock import SECONDS_PER_DAY
 from repro.core.solver import SolverStats
 from repro.data.regions import EVALUATION_REGIONS
 from repro.experiments.harness import (
+    HOME_REGION,
     deploy_benchmark,
     run_caribou,
     run_coarse,
@@ -60,18 +63,41 @@ def cmd_deploy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_chaos_plan(regions: Sequence[str], home: str) -> FaultPlan:
+    """The stock ``--chaos`` schedule: one non-home region goes dark for
+    half a day, 5 % of invocations fail everywhere, and KV accesses are
+    slowed 3x for a stretch — enough to exercise every resilience path."""
+    plan = (
+        FaultPlan()
+        .with_invocation_failures(0.05)
+        .with_kv_latency(
+            3.0, start_s=2.0 * SECONDS_PER_DAY, end_s=3.0 * SECONDS_PER_DAY
+        )
+    )
+    victims = [r for r in regions if r != home]
+    if victims:
+        plan = plan.with_region_outage(
+            victims[0], start_s=1.0 * SECONDS_PER_DAY, end_s=1.5 * SECONDS_PER_DAY
+        )
+    return plan
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     app = get_app(args.app)
     regions = _parse_regions(args.regions)
+    fault_plan = None
+    if args.chaos:
+        home = args.coarse if args.coarse else HOME_REGION
+        fault_plan = _default_chaos_plan(regions, home)
     if args.coarse:
         outcome = run_coarse(
             app, args.size, args.coarse, seed=args.seed,
-            n_invocations=args.invocations,
+            n_invocations=args.invocations, fault_plan=fault_plan,
         )
     else:
         outcome = run_caribou(
             app, args.size, regions, seed=args.seed,
-            n_invocations=args.invocations,
+            n_invocations=args.invocations, fault_plan=fault_plan,
         )
     print(f"{outcome.label}: {outcome.n_invocations} invocations")
     print(f"  mean service time : {outcome.mean_service_time_s:8.3f} s")
@@ -86,6 +112,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"  regions used      : {', '.join(outcome.regions_used)}")
     if outcome.solver_stats is not None:
         print(f"  solver stats      : {outcome.solver_stats.summary()}")
+    if outcome.reliability is not None and (
+        args.chaos or outcome.reliability.total_injected
+    ):
+        print(f"  reliability       : {outcome.reliability.summary()}")
     return 0
 
 
@@ -150,6 +180,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--regions", default=None)
     p_run.add_argument("--coarse", metavar="REGION", default=None,
                        help="static single-region deployment instead of Caribou")
+    p_run.add_argument("--chaos", action="store_true",
+                       help="inject the stock fault schedule (region outage, "
+                            "5%% invocation failures, KV slowdown)")
     p_run.add_argument("--seed", type=int, default=0)
     p_run.set_defaults(func=cmd_run)
 

@@ -24,12 +24,20 @@ effects (successor invocations) take place.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.cloud.ledger import ExecutionRecord, MeteringLedger
 from repro.cloud.simulator import SimulationEnvironment
-from repro.common.errors import DeploymentError
+from repro.common.errors import (
+    DeploymentError,
+    FunctionInvocationError,
+    FunctionTimeoutError,
+    RegionUnavailableError,
+)
+
+if TYPE_CHECKING:
+    from repro.cloud.faults import FaultInjector
 
 #: Memory (MB) per vCPU on AWS Lambda (§7.1).
 MEMORY_MB_PER_VCPU = 1769.0
@@ -147,9 +155,15 @@ def _region_speed_factor(region: str) -> float:
 class FunctionService:
     """Deploys and invokes functions across every region."""
 
-    def __init__(self, env: SimulationEnvironment, ledger: MeteringLedger):
+    def __init__(
+        self,
+        env: SimulationEnvironment,
+        ledger: MeteringLedger,
+        faults: Optional["FaultInjector"] = None,
+    ):
         self._env = env
         self._ledger = ledger
+        self._faults = faults
         self._deployments: Dict[Tuple[str, str], FunctionDeployment] = {}
         # (qualified_name, region) -> time the warm container was last used
         self._warm_until: Dict[Tuple[str, str], float] = {}
@@ -160,13 +174,12 @@ class FunctionService:
     def deploy(self, deployment: FunctionDeployment) -> None:
         """Create (or replace) a function in its region.
 
-        Raises :class:`~repro.common.errors.RegionUnavailableError` via
-        :meth:`set_region_available` hooks when the region is down — the
-        failure path the Deployment Migrator must roll back from (§6.1).
+        Raises :class:`~repro.common.errors.RegionUnavailableError` when
+        the region is down — via the :meth:`set_region_available` hook or
+        an injected ``region_outage`` — the failure path the Deployment
+        Migrator must roll back from (§6.1).
         """
-        from repro.common.errors import RegionUnavailableError
-
-        if self._region_down.get(deployment.region, False):
+        if self._region_unavailable(deployment.region):
             raise RegionUnavailableError(
                 f"region {deployment.region} is unavailable for new deployments"
             )
@@ -196,8 +209,20 @@ class FunctionService:
         )
 
     def set_region_available(self, region: str, available: bool) -> None:
-        """Fault injection: mark a region as refusing new deployments."""
+        """Manual fault hook: mark a region as refusing new deployments.
+
+        Time-windowed outages (which also refuse *invocations*) are
+        declared through a :class:`~repro.cloud.faults.FaultPlan`.
+        """
         self._region_down[region] = not available
+
+    def _region_unavailable(self, region: str) -> bool:
+        if self._region_down.get(region, False):
+            return True
+        if self._faults is not None and self._faults.region_down(region):
+            self._faults.record("region_outage")
+            return True
+        return False
 
     # -- invocation -----------------------------------------------------------
     def invoke(
@@ -223,12 +248,33 @@ class FunctionService:
         wrapper, §6.2) without redeploying.
         """
         deployment = self.deployment(workflow, function, region)
+        if self._faults is not None:
+            if self._faults.region_down(region):
+                self._faults.record("region_outage")
+                raise RegionUnavailableError(
+                    f"region {region} is down; cannot invoke {workflow}.{function}"
+                )
+            fault = self._faults.invocation_fault(workflow, function, region)
+            if fault == "failure":
+                raise FunctionInvocationError(
+                    f"injected invocation failure for {workflow}.{function} "
+                    f"in {region}"
+                )
+            if fault == "timeout":
+                raise FunctionTimeoutError(
+                    f"injected invocation timeout for {workflow}.{function} "
+                    f"in {region}"
+                )
         now = self._env.now()
         key = (deployment.qualified_name, region)
 
         warm_until = self._warm_until.get(key, -math.inf)
         cold = now > warm_until
         cold_delay = self._sample_cold_start() if cold else 0.0
+        if cold and self._faults is not None:
+            cold_delay *= self._faults.cold_start_multiplier(
+                workflow, function, region
+            )
 
         duration = self._sample_duration(deployment.profile, payload_bytes, region)
         start = now + cold_delay

@@ -17,12 +17,19 @@ introduced by Caribou").
 from __future__ import annotations
 
 import copy
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.cloud.ledger import KvAccessRecord, MeteringLedger
 from repro.cloud.simulator import SimulationEnvironment
-from repro.common.errors import ConditionalCheckFailed, KeyValueStoreError
+from repro.common.errors import (
+    ConditionalCheckFailed,
+    KeyValueStoreError,
+    RegionUnavailableError,
+)
 from repro.data.latency import LatencySource
+
+if TYPE_CHECKING:
+    from repro.cloud.faults import FaultInjector
 
 
 class KeyValueStore:
@@ -39,6 +46,7 @@ class KeyValueStore:
         latency_source: LatencySource,
         ledger: MeteringLedger,
         base_latency_s: float = 0.004,
+        faults: Optional["FaultInjector"] = None,
     ):
         """Args:
         env: Simulation environment.
@@ -47,19 +55,40 @@ class KeyValueStore:
         ledger: Metering sink.
         base_latency_s: Single-digit-millisecond request latency that
             DynamoDB exhibits even for local callers.
+        faults: Optional fault injector (KV op errors, latency
+            inflation, host-region outages).
         """
         self._env = env
         self.region = region
         self._latency = latency_source
         self._ledger = ledger
         self._base_latency = base_latency_s
+        self._faults = faults
         self._tables: Dict[str, Dict[str, Any]] = {}
 
     # -- infrastructure ----------------------------------------------------
+    def _check_fault(self, workflow: str = "") -> None:
+        """Raise before mutating state when an injected fault fires."""
+        if self._faults is None:
+            return
+        if self._faults.region_down(self.region):
+            self._faults.record("region_outage")
+            raise RegionUnavailableError(
+                f"key-value store host region {self.region} is down"
+            )
+        if self._faults.kv_error(self.region, workflow):
+            raise KeyValueStoreError(
+                f"injected key-value store error in {self.region}"
+            )
+
     def _access_latency(self, caller_region: str) -> float:
         if caller_region == self.region:
-            return self._base_latency
-        return self._base_latency + self._latency.rtt(caller_region, self.region)
+            latency = self._base_latency
+        else:
+            latency = self._base_latency + self._latency.rtt(caller_region, self.region)
+        if self._faults is not None:
+            latency *= self._faults.kv_latency_factor(self.region)
+        return latency
 
     def _meter(
         self, table: str, caller_region: str, write: bool, workflow: str, request_id: str
@@ -93,6 +122,7 @@ class KeyValueStore:
         request_id: str = "",
     ) -> float:
         """Store ``value`` under ``key``.  Returns access latency."""
+        self._check_fault(workflow)
         caller = caller_region or self.region
         self._table(table)[key] = copy.deepcopy(value)
         return self._meter(table, caller, True, workflow, request_id)
@@ -107,6 +137,7 @@ class KeyValueStore:
         request_id: str = "",
     ) -> Tuple[Any, float]:
         """Fetch ``key``.  Returns ``(value or default, latency)``."""
+        self._check_fault(workflow)
         caller = caller_region or self.region
         latency = self._meter(table, caller, False, workflow, request_id)
         value = self._table(table).get(key, default)
@@ -120,6 +151,7 @@ class KeyValueStore:
         workflow: str = "",
         request_id: str = "",
     ) -> float:
+        self._check_fault(workflow)
         caller = caller_region or self.region
         self._table(table).pop(key, None)
         return self._meter(table, caller, True, workflow, request_id)
@@ -142,6 +174,7 @@ class KeyValueStore:
 
         Returns ``(new_value, latency)``.
         """
+        self._check_fault(workflow)
         caller = caller_region or self.region
         tbl = self._table(table)
         current = copy.deepcopy(tbl.get(key, default))
@@ -166,6 +199,7 @@ class KeyValueStore:
         ``ConditionalCheckFailedException``), still charging a write unit
         as DynamoDB does.
         """
+        self._check_fault(workflow)
         caller = caller_region or self.region
         tbl = self._table(table)
         latency = self._meter(table, caller, True, workflow, request_id)
@@ -215,6 +249,7 @@ class KeyValueStore:
         request_id: str = "",
     ) -> Tuple[Dict[str, Any], float]:
         """Return a deep copy of the whole table (DynamoDB Scan)."""
+        self._check_fault(workflow)
         caller = caller_region or self.region
         latency = self._meter(table, caller, False, workflow, request_id)
         return copy.deepcopy(self._table(table)), latency

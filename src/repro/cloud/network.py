@@ -14,12 +14,15 @@ Transfer latency = one-way propagation (CloudPing-derived RTT / 2)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.cloud.ledger import MeteringLedger, TransmissionRecord
 from repro.cloud.simulator import SimulationEnvironment
-from repro.common.units import GB
+from repro.common.errors import NetworkPartitionError
 from repro.data.latency import LatencySource
+
+if TYPE_CHECKING:
+    from repro.cloud.faults import FaultInjector
 
 #: Effective cross-region throughput for serverless payloads, bytes/sec.
 #: (Conservative relative to backbone capacity: per-connection TCP over
@@ -50,10 +53,12 @@ class Network:
         inter_region_bandwidth: float = DEFAULT_INTER_REGION_BANDWIDTH,
         intra_region_bandwidth: float = DEFAULT_INTRA_REGION_BANDWIDTH,
         jitter_std: float = 0.08,
+        faults: Optional["FaultInjector"] = None,
     ):
         self._env = env
         self._latency = latency_source
         self._ledger = ledger
+        self._faults = faults
         self._inter_bw = inter_region_bandwidth
         self._intra_bw = intra_region_bandwidth
         self._jitter_std = jitter_std
@@ -86,8 +91,15 @@ class Network:
         """Perform a transfer now, recording it in the ledger.
 
         The caller is responsible for scheduling whatever happens at
-        arrival time (``env.now() + latency_s``).
+        arrival time (``env.now() + latency_s``).  Raises
+        :class:`~repro.common.errors.NetworkPartitionError` while an
+        injected partition separates the two endpoints.
         """
+        if self._faults is not None and self._faults.partitioned(src, dst):
+            self._faults.record("network_partition")
+            raise NetworkPartitionError(
+                f"transfer {src} -> {dst} refused: regions are partitioned"
+            )
         latency = self.transfer_latency(src, dst, size_bytes)
         self._ledger.record_transmission(
             TransmissionRecord(

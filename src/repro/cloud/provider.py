@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Sequence
 
+from repro.cloud.faults import FaultInjector, FaultPlan
 from repro.cloud.functions import FunctionService
 from repro.cloud.kvstore import KeyValueStore
 from repro.cloud.ledger import MeteringLedger
@@ -35,6 +36,7 @@ class SimulatedCloud:
         regions: Optional[Sequence[str]] = None,
         carbon_horizon_hours: int = 24 * 7,
         carbon_overrides: Optional[Mapping[str, Sequence[float]]] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         """Build a cloud.
 
@@ -46,6 +48,10 @@ class SimulatedCloud:
                 traces (defaults to the paper's one-week window).
             carbon_overrides: Explicit carbon series per grid zone (for
                 tests / what-if studies).
+            fault_plan: Declarative fault schedule for chaos
+                experiments.  Defaults to the empty plan, which injects
+                nothing and leaves every service's behaviour (including
+                its RNG streams) byte-identical to a fault-free build.
         """
         self.regions: tuple = tuple(regions if regions is not None else EVALUATION_REGIONS)
         for name in self.regions:
@@ -58,9 +64,15 @@ class SimulatedCloud:
         self.carbon_source = CarbonIntensitySource(
             hours=carbon_horizon_hours, seed=seed, overrides=carbon_overrides
         )
-        self.network = Network(self.env, self.latency_source, self.ledger)
-        self.functions = FunctionService(self.env, self.ledger)
-        self.pubsub = PubSubService(self.env, self.network, self.ledger)
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+        self.faults = FaultInjector(self.fault_plan, self.env)
+        self.network = Network(
+            self.env, self.latency_source, self.ledger, faults=self.faults
+        )
+        self.functions = FunctionService(self.env, self.ledger, faults=self.faults)
+        self.pubsub = PubSubService(
+            self.env, self.network, self.ledger, faults=self.faults
+        )
         self.storage = ObjectStore(self.env, self.network)
         self.registry = ContainerRegistry(self.env, self.network)
         self.iam = IamService()
@@ -77,7 +89,7 @@ class SimulatedCloud:
         if region not in self._kvstores:
             get_region(region)
             self._kvstores[region] = KeyValueStore(
-                self.env, region, self.latency_source, self.ledger
+                self.env, region, self.latency_source, self.ledger, faults=self.faults
             )
         return self._kvstores[region]
 

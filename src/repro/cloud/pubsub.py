@@ -16,13 +16,16 @@ are reproduced here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cloud.ledger import MessagingRecord, MeteringLedger
 from repro.cloud.network import Network
 from repro.cloud.simulator import SimulationEnvironment
-from repro.common.errors import MessageDeliveryError
+from repro.common.errors import MessageDeliveryError, RegionUnavailableError
+
+if TYPE_CHECKING:
+    from repro.cloud.faults import FaultInjector
 
 #: Service-side processing time for accepting a publish, seconds.
 PUBLISH_OVERHEAD_S = 0.025
@@ -62,14 +65,19 @@ class PubSubService:
         ledger: MeteringLedger,
         publish_overhead_s: float = PUBLISH_OVERHEAD_S,
         delivery_overhead_s: float = DELIVERY_OVERHEAD_S,
+        faults: Optional["FaultInjector"] = None,
     ):
         self._env = env
         self._network = network
         self._ledger = ledger
+        self._faults = faults
         self._publish_overhead = publish_overhead_s
         self._delivery_overhead = delivery_overhead_s
         self._topics: Dict[Tuple[str, str], _Topic] = {}
         self._dead_letters: List[Tuple[str, Message, str]] = []
+        self._retries_by_workflow: Dict[str, int] = {}
+        self._dead_letters_by_workflow: Dict[str, int] = {}
+        self._dead_letter_listeners: List[Callable[[str, Message, str], None]] = []
 
     # -- topic management ---------------------------------------------------
     def create_topic(self, name: str, region: str) -> None:
@@ -104,6 +112,38 @@ class PubSubService:
         """Messages that exhausted retries: (topic, message, error)."""
         return list(self._dead_letters)
 
+    def retry_count(self, workflow: str) -> int:
+        """Redelivery attempts scheduled for ``workflow``'s messages."""
+        return self._retries_by_workflow.get(workflow, 0)
+
+    def dead_letter_count(self, workflow: str) -> int:
+        """Messages of ``workflow`` given up on."""
+        return self._dead_letters_by_workflow.get(workflow, 0)
+
+    def add_dead_letter_listener(
+        self, listener: Callable[[str, Message, str], None]
+    ) -> None:
+        """Register ``listener(topic, message, error)`` to observe every
+        dead-lettered message (the executor uses this to mark the
+        affected request failed instead of losing it silently)."""
+        self._dead_letter_listeners.append(listener)
+
+    def dead_letter(self, name: str, message: Message, error: str) -> None:
+        """Record ``message`` as undeliverable without attempting delivery.
+
+        Publishers use this when they can tell no delivery can succeed —
+        e.g. the executor's home-region fallback finding no home topic —
+        so the failure is counted and observable rather than raised from
+        inside a scheduled callback.
+        """
+        self._dead_letters.append((name, message, error))
+        if message.workflow:
+            self._dead_letters_by_workflow[message.workflow] = (
+                self._dead_letters_by_workflow.get(message.workflow, 0) + 1
+            )
+        for listener in list(self._dead_letter_listeners):
+            listener(name, message, error)
+
     # -- publishing ----------------------------------------------------------
     def publish(
         self,
@@ -125,6 +165,11 @@ class PubSubService:
         per-edge payload sizes and routes).
         """
         topic = self._require_topic(name, region)
+        if self._faults is not None and self._faults.region_down(region):
+            self._faults.record("region_outage")
+            raise RegionUnavailableError(
+                f"pub/sub in {region} is down; cannot accept publish to {name!r}"
+            )
         self._ledger.record_message(
             MessagingRecord(
                 workflow=message.workflow,
@@ -152,23 +197,51 @@ class PubSubService:
 
     def _attempt_delivery(self, topic: _Topic, message: Message, attempt: int) -> None:
         def deliver() -> None:
+            if self._faults is not None and self._faults.region_down(topic.region):
+                # The whole region is dark: the subscriber cannot run.
+                # Retry with backoff — the outage may end first (§6.2's
+                # at-least-once glue is what rides out such windows).
+                self._faults.record("region_outage")
+                self._fail(topic, message, f"region {topic.region} is down", attempt)
+                return
             if topic.subscriber is None:
                 self._fail(topic, message, "no subscriber", attempt)
                 return
             try:
                 topic.subscriber(message)
-            except Exception as exc:  # subscriber did not ack -> retry
-                self._fail(topic, message, repr(exc), attempt)
+            except Exception as exc:  # subscriber did not ack
+                self._fail(
+                    topic,
+                    message,
+                    repr(exc),
+                    attempt,
+                    retryable=getattr(exc, "retryable", True),
+                )
                 return
             topic.delivered += 1
 
         self._env.schedule(self._delivery_overhead, deliver)
 
-    def _fail(self, topic: _Topic, message: Message, error: str, attempt: int) -> None:
-        if attempt >= MAX_DELIVERY_ATTEMPTS:
+    def _fail(
+        self,
+        topic: _Topic,
+        message: Message,
+        error: str,
+        attempt: int,
+        retryable: bool = True,
+    ) -> None:
+        """One failed delivery attempt: retry with exponential backoff,
+        unless retries are exhausted or the error is deterministic
+        (``retryable=False``, e.g. a malformed workflow) — re-running the
+        user handler cannot change those, so they dead-letter at once."""
+        if not retryable or attempt >= MAX_DELIVERY_ATTEMPTS:
             topic.dead_lettered += 1
-            self._dead_letters.append((topic.name, message, error))
+            self.dead_letter(topic.name, message, error)
             return
+        if message.workflow:
+            self._retries_by_workflow[message.workflow] = (
+                self._retries_by_workflow.get(message.workflow, 0) + 1
+            )
         backoff = RETRY_BACKOFF_S * (2 ** (attempt - 1))
         self._env.schedule(
             backoff, lambda: self._attempt_delivery(topic, message, attempt + 1)

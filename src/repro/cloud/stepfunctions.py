@@ -16,7 +16,7 @@ same applications through this engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.cloud.simulator import SimulationEnvironment
 

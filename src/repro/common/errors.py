@@ -9,7 +9,16 @@ from __future__ import annotations
 
 
 class CaribouError(Exception):
-    """Base class for all framework errors."""
+    """Base class for all framework errors.
+
+    ``retryable`` classifies the failure for the at-least-once delivery
+    glue (§6.2): transient faults (the default) are worth redelivering
+    with backoff, while deterministic errors — a malformed workflow will
+    fail identically on every attempt — are dead-lettered immediately
+    instead of re-running user handlers.
+    """
+
+    retryable = True
 
 
 class WorkflowDefinitionError(CaribouError):
@@ -19,9 +28,13 @@ class WorkflowDefinitionError(CaribouError):
     edge to an unregistered function, or a sync node misuse.
     """
 
+    retryable = False
+
 
 class ConfigurationError(CaribouError):
     """The deployment manifest (config/IAM policy) is invalid."""
+
+    retryable = False
 
 
 class DeploymentError(CaribouError):
@@ -50,3 +63,21 @@ class ConditionalCheckFailed(KeyValueStoreError):
 
 class MessageDeliveryError(CaribouError):
     """Pub/sub delivery exhausted its retries."""
+
+
+class FaultInjectedError(CaribouError):
+    """Base class for failures fired by the fault-injection layer."""
+
+
+class FunctionInvocationError(FaultInjectedError):
+    """An injected invocation failure: the function crashed before its
+    effects occurred (retryable via pub/sub redelivery)."""
+
+
+class FunctionTimeoutError(FaultInjectedError):
+    """An injected invocation timeout: the function hit its execution
+    deadline (retryable via pub/sub redelivery)."""
+
+
+class NetworkPartitionError(FaultInjectedError):
+    """A transfer was refused because its endpoints are partitioned."""

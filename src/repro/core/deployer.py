@@ -16,7 +16,7 @@ plan is a no-expiry daily plan pinning everything there.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.cloud.functions import FunctionDeployment
 from repro.cloud.provider import SimulatedCloud

@@ -31,13 +31,14 @@ relevant subgraph.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
+from repro.cloud.faults import ReliabilityStats
 from repro.cloud.provider import SimulatedCloud
 from repro.cloud.pubsub import Message
-from repro.common.errors import DeploymentError, WorkflowDefinitionError
+from repro.cloud.simulator import EventHandle
+from repro.common.errors import CaribouError, WorkflowDefinitionError
 from repro.core.api import (
     ExecutionContext,
     FunctionSpec,
@@ -173,6 +174,16 @@ class CaribouExecutor:
         self._spec_of_node: Dict[str, FunctionSpec] = {
             n.name: self._wf.function(n.function) for n in self._dag.nodes
         }
+        # -- reliability bookkeeping ---------------------------------------
+        self._faults = getattr(deployed.cloud, "faults", None)
+        # request id -> "pending" | "completed" | "failed" | "timed_out"
+        self._requests: Dict[str, str] = {}
+        self._watchdogs: Dict[str, EventHandle] = {}
+        self._completed = 0
+        self._failed = 0
+        self._timed_out = 0
+        self._home_fallbacks = 0
+        deployed.cloud.pubsub.add_dead_letter_listener(self._on_dead_letter)
 
     @property
     def deployed(self) -> DeployedWorkflow:
@@ -196,10 +207,14 @@ class CaribouExecutor:
         """
         self._request_counter += 1
         rid = request_id or f"{self._d.name}-r{self._request_counter:06d}"
+        self._begin_request(rid)
 
-        benchmark = force_home or (
-            self._rng.random() < self._d.config.benchmarking_fraction
-        )
+        # Draw the benchmarking coin unconditionally: short-circuiting it
+        # behind ``force_home`` would desynchronise the executor's RNG
+        # stream between runs that warm up (force_home=True) and runs
+        # that do not, breaking seed reproducibility.
+        draw = self._rng.random()
+        benchmark = force_home or draw < self._d.config.benchmarking_fraction
         if benchmark:
             active = self.home_plan()
         elif plan is not None:
@@ -238,6 +253,7 @@ class CaribouExecutor:
         """
         self._request_counter += 1
         rid = request_id or f"{self._d.name}-r{self._request_counter:06d}"
+        self._begin_request(rid)
         start = self._dag.start_node
         home = self._d.config.home_region
         body = {
@@ -253,13 +269,19 @@ class CaribouExecutor:
             workflow=self._d.name,
             request_id=rid,
         )
-        self._cloud.pubsub.publish(
-            self._topic_for(self._spec_of_node[start].name),
-            home,
-            message,
-            source_region=home,
-            edge_label=f"$input->{start}",
-        )
+        topic = self._topic_for(self._spec_of_node[start].name)
+        try:
+            self._cloud.pubsub.publish(
+                topic,
+                home,
+                message,
+                source_region=home,
+                edge_label=f"$input->{start}",
+            )
+        except CaribouError as exc:
+            # Home region refused the publish (outage): the request is
+            # explicitly failed, not silently lost.
+            self._cloud.pubsub.dead_letter(topic, message, repr(exc))
         return rid
 
     def home_plan(self) -> DeploymentPlan:
@@ -267,13 +289,18 @@ class CaribouExecutor:
 
     def fetch_active_plan(self) -> DeploymentPlan:
         """Read the staged plan set from the KV store; fall back to the
-        home region when none exists or it has expired (§5.2)."""
-        raw, _lat = self._d.kv().get(
-            self._d.meta_table,
-            META_PLAN_KEY,
-            caller_region=self._d.config.home_region,
-            workflow=self._d.name,
-        )
+        home region when none exists, it has expired (§5.2), or the
+        store itself is unreachable (outage / injected KV error)."""
+        try:
+            raw, _lat = self._d.kv().get(
+                self._d.meta_table,
+                META_PLAN_KEY,
+                caller_region=self._d.config.home_region,
+                workflow=self._d.name,
+            )
+        except CaribouError:
+            self._home_fallbacks += 1
+            return self.home_plan()
         now = self._cloud.now()
         if raw is None:
             return self.home_plan()
@@ -365,7 +392,8 @@ class CaribouExecutor:
         )
         delay = kv_latency + transfer.latency_s
         self._cloud.env.schedule(
-            delay, lambda: self._execute_node(node, region, payloads, body)
+            delay,
+            self._guarded(rid, lambda: self._execute_node(node, region, payloads, body)),
         )
 
     def _execute_node(
@@ -419,7 +447,7 @@ class CaribouExecutor:
             )
 
         if external_delay > 0:
-            self._cloud.env.schedule(external_delay, run)
+            self._cloud.env.schedule(external_delay, self._guarded(rid, run))
         else:
             run()
 
@@ -456,6 +484,16 @@ class CaribouExecutor:
         for edge in self._dag.out_edges(node):
             if edge.dst not in covered:
                 self._schedule_skip(end, node, edge.dst, region, rid, body)
+
+        # A terminal node executing is the request reaching its end: mark
+        # it completed.  Done synchronously (its execution record is
+        # already written) rather than via an event at ``end`` — an extra
+        # event there would extend the run's idle point and shift the
+        # virtual clock relative to fault-free pre-tracking behaviour.
+        # Guarded on tracked requests so baseline subclasses with their
+        # own entry points are unaffected.
+        if not self._dag.out_edges(node) and rid in self._requests:
+            self._complete_request(rid)
 
     def _resolve_stage(self, intent: InvocationIntent) -> str:
         spec = self._wf.function(intent.target_function)
@@ -503,7 +541,7 @@ class CaribouExecutor:
                 edge_label=f"{src}->{dst}",
             )
 
-        self._cloud.env.schedule_at(at_s, send)
+        self._cloud.env.schedule_at(at_s, self._guarded(rid, send))
 
     # -- sync edges -------------------------------------------------------------
     def _schedule_sync_send(
@@ -545,9 +583,11 @@ class CaribouExecutor:
                 for sync_node in to_invoke:
                     self._invoke_sync_node(sync_node, src_region, rid, body)
 
-            self._cloud.env.schedule(transfer.latency_s, store_and_check)
+            self._cloud.env.schedule(
+                transfer.latency_s, self._guarded(rid, store_and_check)
+            )
 
-        self._cloud.env.schedule_at(at_s, send)
+        self._cloud.env.schedule_at(at_s, self._guarded(rid, send))
 
     # -- skips ---------------------------------------------------------------------
     def _schedule_skip(
@@ -567,7 +607,7 @@ class CaribouExecutor:
             for sync_node in to_invoke:
                 self._invoke_sync_node(sync_node, src_region, rid, body)
 
-        self._cloud.env.schedule_at(at_s, skip)
+        self._cloud.env.schedule_at(at_s, self._guarded(rid, skip))
 
     # -- the atomic annotation + condition-check step ----------------------------
     def _annotate(
@@ -639,25 +679,141 @@ class CaribouExecutor:
         function = self._spec_of_node[node].name
         target_region = plan[node]
         topic = self._topic_for(function)
+        home = self._d.config.home_region
+
+        def unusable(region: str) -> bool:
+            """Whether publishing to ``region`` cannot possibly succeed."""
+            if not self._cloud.pubsub.topic_exists(topic, region):
+                return True
+            if self._faults is not None and self._faults.enabled:
+                if self._faults.region_down(region):
+                    self._faults.record("region_outage")
+                    return True
+                if self._faults.partitioned(source_region, region):
+                    self._faults.record("network_partition")
+                    return True
+            return False
+
         # §6.1: if the planned deployment is not materialised (failed
-        # migration), fall back to the home region.
-        if not self._cloud.pubsub.topic_exists(topic, target_region):
-            target_region = self._d.config.home_region
+        # migration) or its region is unreachable, fall back home.
+        if target_region != home and unusable(target_region):
+            self._home_fallbacks += 1
+            target_region = home
             body = dict(body)
             body["plan"] = dict(plan)
-            body["plan"][node] = target_region
+            body["plan"][node] = home
         message = Message(
             body=body,
             size_bytes=self._message_bytes(payload_bytes),
             workflow=self._d.name,
             request_id=request_id,
         )
-        self._cloud.pubsub.publish(
-            topic,
-            target_region,
-            message,
-            source_region=source_region,
-            edge_label=edge_label,
+        if unusable(target_region):
+            # The home region itself is unusable.  Raising here would
+            # escape a scheduled callback and crash the event loop, so
+            # dead-letter the message instead — the listener marks the
+            # request failed.
+            self._cloud.pubsub.dead_letter(
+                topic,
+                message,
+                f"no deliverable region for node {node!r} "
+                f"(home {home!r} unusable)",
+            )
+            return
+        try:
+            self._cloud.pubsub.publish(
+                topic,
+                target_region,
+                message,
+                source_region=source_region,
+                edge_label=edge_label,
+            )
+        except CaribouError as exc:
+            self._cloud.pubsub.dead_letter(topic, message, repr(exc))
+
+    # -- request lifecycle -------------------------------------------------------
+    def _begin_request(self, rid: str) -> None:
+        """Track a request end to end: every tracked request finishes as
+        completed, failed, or timed out — never silently lost."""
+        self._requests[rid] = "pending"
+        timeout = self._d.config.request_timeout_s
+        if timeout is not None:
+            self._watchdogs[rid] = self._cloud.env.schedule(
+                timeout, lambda: self._expire_request(rid)
+            )
+
+    def _finish_request(self, rid: str, status: str) -> bool:
+        """First terminal transition wins; cancels the watchdog so the
+        no-fault event schedule is untouched by the timeout machinery."""
+        if self._requests.get(rid) != "pending":
+            return False
+        self._requests[rid] = status
+        handle = self._watchdogs.pop(rid, None)
+        if handle is not None:
+            handle.cancel()
+        return True
+
+    def _complete_request(self, rid: str) -> None:
+        if self._finish_request(rid, "completed"):
+            self._completed += 1
+
+    def _fail_request(self, rid: str) -> None:
+        if self._finish_request(rid, "failed"):
+            self._failed += 1
+
+    def _expire_request(self, rid: str) -> None:
+        if self._requests.get(rid) == "pending":
+            self._requests[rid] = "timed_out"
+            self._watchdogs.pop(rid, None)
+            self._timed_out += 1
+
+    def _on_dead_letter(self, topic: str, message: Message, error: str) -> None:
+        """Pub/sub gave up on one of our messages: the request cannot
+        finish normally, so mark it failed."""
+        if message.workflow != self._d.name:
+            return
+        if message.request_id:
+            self._fail_request(message.request_id)
+
+    def _guarded(self, rid: str, fn: Callable[[], None]) -> Callable[[], None]:
+        """Wrap a scheduled continuation so a framework fault marks the
+        request failed instead of crashing the event loop (exceptions in
+        scheduled callbacks are not retried by pub/sub)."""
+
+        def run() -> None:
+            try:
+                fn()
+            except CaribouError:
+                self._fail_request(rid)
+
+        return run
+
+    def request_status(self, rid: str) -> Optional[str]:
+        """``"pending"``/``"completed"``/``"failed"``/``"timed_out"``, or
+        ``None`` for unknown request ids."""
+        return self._requests.get(rid)
+
+    def pending_requests(self) -> Tuple[str, ...]:
+        return tuple(
+            rid for rid, status in self._requests.items() if status == "pending"
+        )
+
+    def reliability(self) -> ReliabilityStats:
+        """Reliability counters for this workflow's run so far.
+
+        ``injected`` is the cloud-wide fault tally (the injector is
+        shared across workflows); the remaining counters are scoped to
+        this workflow.
+        """
+        pubsub = self._cloud.pubsub
+        return ReliabilityStats(
+            injected=self._faults.snapshot() if self._faults is not None else {},
+            retries=pubsub.retry_count(self._d.name),
+            dead_letters=pubsub.dead_letter_count(self._d.name),
+            home_fallbacks=self._home_fallbacks,
+            completed_requests=self._completed,
+            failed_requests=self._failed,
+            timed_out_requests=self._timed_out,
         )
 
     # -- subclass hooks (the plain-SNS baseline overrides these) --------------------

@@ -12,7 +12,7 @@ independently, exactly as the sigmoid rule dictates per bucket.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.cloud.provider import SimulatedCloud
 from repro.core.deployer import DeploymentUtility

@@ -15,7 +15,7 @@ sensitivity study, Fig. 13) and solves unconditionally at every check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -15,9 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
-from repro.common.errors import DeploymentError
+from repro.common.errors import CaribouError
 from repro.core.deployer import DeploymentUtility
-from repro.core.executor import CaribouExecutor, DeployedWorkflow
+from repro.core.executor import META_PLAN_KEY, CaribouExecutor, DeployedWorkflow
 from repro.model.plan import HourlyPlanSet
 
 
@@ -29,6 +29,8 @@ class MigrationReport:
     deployed: Tuple[Tuple[str, str], ...]  # (function, region) newly created
     failed: Optional[Tuple[str, str]] = None
     error: str = ""
+    #: Partially created deployments removed again after a failure.
+    rolled_back: Tuple[Tuple[str, str], ...] = ()
 
 
 class DeploymentMigrator:
@@ -73,10 +75,11 @@ class DeploymentMigrator:
     def migrate(self, plan_set: HourlyPlanSet) -> MigrationReport:
         """Deploy whatever the plan set needs, then activate it.
 
-        On any failure the plan is *not* activated: traffic falls back to
-        the home region (the executor's per-publish fallback plus the
-        cleared active plan), and the plan set is parked for
-        :meth:`retry_pending`.
+        On any failure the plan is *not* activated: partially created
+        deployments are rolled back (no leaked functions/topics/roles in
+        regions no active plan routes to), the still-valid active plan —
+        if it is a *different* plan set — is left in place, and the
+        failed plan set is parked for :meth:`retry_pending`.
         """
         home = self._d.config.home_region
         created: List[Tuple[str, str]] = []
@@ -90,22 +93,67 @@ class DeploymentMigrator:
                     region,
                     copy_image_from=home,
                 )
-            except DeploymentError as exc:
+            except CaribouError as exc:
                 self._pending = plan_set
-                self._executor.clear_plan()  # default back to home (§6.1)
+                rolled_back = self._rollback(created)
+                # Only default back to home (§6.1) when the *failing*
+                # plan set is the one currently active: clearing an
+                # unrelated, fully materialised plan set would discard
+                # valid routing for no reason.
+                if self._is_active(plan_set):
+                    self._executor.clear_plan()
                 return MigrationReport(
                     activated=False,
                     deployed=tuple(created),
                     failed=(function, region),
                     error=str(exc),
+                    rolled_back=rolled_back,
                 )
             created.append((function, region))
             self.migrations_performed += 1
 
-        self._executor.stage_plan_set(plan_set)
+        try:
+            self._executor.stage_plan_set(plan_set)
+        except CaribouError as exc:
+            # Activation itself failed (KV store unreachable): keep the
+            # materialised deployments — they are what the parked plan
+            # needs — and retry activation later.
+            self._pending = plan_set
+            return MigrationReport(
+                activated=False,
+                deployed=tuple(created),
+                error=str(exc),
+            )
         self._pending = None
         self.activations += 1
         return MigrationReport(activated=True, deployed=tuple(created))
+
+    def _rollback(self, created: List[Tuple[str, str]]) -> Tuple[Tuple[str, str], ...]:
+        """Remove partially created deployments, newest first.  Removal
+        failures (e.g. the region went dark mid-rollback) are tolerated:
+        the remaining entries are still attempted."""
+        rolled_back: List[Tuple[str, str]] = []
+        for function, region in reversed(created):
+            spec = self._d.workflow.function(function)
+            try:
+                self._utility.remove_function(self._d, spec, region)
+            except CaribouError:
+                continue
+            rolled_back.append((function, region))
+        return tuple(rolled_back)
+
+    def _is_active(self, plan_set: HourlyPlanSet) -> bool:
+        """Whether ``plan_set`` is the currently activated one."""
+        try:
+            raw, _lat = self._d.kv().get(
+                self._d.meta_table,
+                META_PLAN_KEY,
+                caller_region=self._d.config.home_region,
+                workflow=self._d.name,
+            )
+        except CaribouError:
+            return False
+        return raw is not None and raw == plan_set.to_dict()
 
     def retry_pending(self) -> Optional[MigrationReport]:
         """Retry a parked rollout (§6.1).  No-op when nothing is pending."""

@@ -11,7 +11,7 @@ while shifting the rest (§5.1) — which is exactly what Fig. 7's
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.common.errors import SolverError
 from repro.core.solver.evaluation import PlanEvaluator

@@ -22,13 +22,12 @@ past the deadline even if every slot looks bad.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.clock import SECONDS_PER_HOUR
 from repro.core.api import Payload
 from repro.core.executor import CaribouExecutor
-from repro.metrics.carbon import CarbonModel
 
 
 @dataclass(frozen=True)

@@ -24,8 +24,8 @@ in gCO2eq:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.metrics.carbon import P_MAX_KW, P_MEM_KW_PER_GB, PUE
 

@@ -10,7 +10,7 @@ datacenters draw power from (for carbon intensity lookups).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 

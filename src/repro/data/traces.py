@@ -12,7 +12,7 @@ well-documented shape of production serverless traffic.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Sequence
 
 import numpy as np

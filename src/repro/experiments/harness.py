@@ -16,14 +16,15 @@ scenarios without re-running.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.apps.base import BenchmarkApp, default_config
+from repro.cloud.faults import FaultPlan, ReliabilityStats
 from repro.cloud.provider import SimulatedCloud
-from repro.common.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.common.clock import SECONDS_PER_DAY
 from repro.core.deployer import DeploymentUtility
 from repro.core.executor import CaribouExecutor, DeployedWorkflow
 from repro.core.migrator import DeploymentMigrator
@@ -89,6 +90,7 @@ class RunOutcome:
     plan_set: Optional[HourlyPlanSet] = None
     regions_used: Tuple[str, ...] = ()
     solver_stats: Optional[SolverStats] = None
+    reliability: Optional[ReliabilityStats] = None
 
     def carbon(self, scenario: str) -> float:
         return self.per_scenario[scenario].mean_carbon_g
@@ -229,7 +231,14 @@ def _run_measurement(
     cloud.run_until_idle()
 
     ledger = cloud.ledger
-    service_times = [ledger.service_time(deployed.name, rid) for rid in rids]
+    # Under fault injection some requests fail before any execution is
+    # recorded; measure service time only over requests that actually ran.
+    service_times = []
+    for rid in rids:
+        try:
+            service_times.append(ledger.service_time(deployed.name, rid))
+        except KeyError:
+            continue
 
     per_scenario: Dict[str, ScenarioStats] = {}
     for scenario in scenarios:
@@ -255,17 +264,25 @@ def _run_measurement(
     regions_used = tuple(
         sorted({r.region for r in ledger.executions if r.request_id in set(rids)})
     )
+    reliability = (
+        executor.reliability() if hasattr(executor, "reliability") else None
+    )
     return RunOutcome(
         app_name=app.name,
         input_size=input_size,
         label=label,
         n_invocations=len(rids),
-        mean_service_time_s=float(np.mean(service_times)),
-        p95_service_time_s=float(np.percentile(service_times, 95)),
+        mean_service_time_s=(
+            float(np.mean(service_times)) if service_times else math.nan
+        ),
+        p95_service_time_s=(
+            float(np.percentile(service_times, 95)) if service_times else math.nan
+        ),
         per_scenario=per_scenario,
         plan_set=plan_set,
         regions_used=regions_used,
         solver_stats=solver_stats,
+        reliability=reliability,
     )
 
 
@@ -277,6 +294,7 @@ def run_coarse(
     n_invocations: int = DEFAULT_INVOCATIONS,
     days: float = 6.5,
     scenarios: Optional[Sequence[TransmissionScenario]] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RunOutcome:
     """Manual static single-region deployment (Fig. 7 "Coarse" bars).
 
@@ -287,7 +305,7 @@ def run_coarse(
         TransmissionScenario.best_case(),
         TransmissionScenario.worst_case(),
     )
-    cloud = SimulatedCloud(seed=seed)
+    cloud = SimulatedCloud(seed=seed, fault_plan=fault_plan)
     deployed, executor, utility = deploy_benchmark(app, cloud)
     # Materialise every function in the target region and pin the plan.
     if region != deployed.config.home_region:
@@ -326,6 +344,7 @@ def run_caribou(
     tolerances: Optional[Tolerances] = None,
     solver_settings: SolverSettings = BENCH_SOLVER_SETTINGS,
     label: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RunOutcome:
     """Caribou fine-grained deployment over a region set (Fig. 7 "Fine").
 
@@ -340,7 +359,7 @@ def run_caribou(
     scenario_for_solver = scenario_for_solver or scenarios[0]
     if HOME_REGION not in regions:
         raise ValueError(f"region set must include the home region {HOME_REGION}")
-    cloud = SimulatedCloud(seed=seed, regions=tuple(regions))
+    cloud = SimulatedCloud(seed=seed, regions=tuple(regions), fault_plan=fault_plan)
     deployed, executor, utility = deploy_benchmark(
         app, cloud, tolerances=tolerances
     )

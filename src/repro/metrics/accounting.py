@@ -10,8 +10,8 @@ scenarios (§9.1 fairness rule 4) without re-running.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.cloud.ledger import (
     ExecutionRecord,

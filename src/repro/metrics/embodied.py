@@ -21,7 +21,7 @@ with embodied carbon included must produce the same order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.cloud.ledger import ExecutionRecord
 

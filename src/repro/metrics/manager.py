@@ -22,15 +22,14 @@ protocol, making it directly consumable by the Monte-Carlo estimator.
 
 from __future__ import annotations
 
-import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cloud.ledger import ExecutionRecord, MeteringLedger, TransmissionRecord
-from repro.common.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.common.clock import SECONDS_PER_DAY
 from repro.data.carbon import CarbonIntensitySource
 from repro.metrics.distributions import EmpiricalDistribution
 from repro.metrics.forecast import HoltWintersForecaster

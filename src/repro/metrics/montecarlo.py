@@ -51,8 +51,8 @@ differential test in ``tests/test_montecarlo.py`` locks down.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 

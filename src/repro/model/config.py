@@ -11,8 +11,8 @@ regions are eligible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Iterable, Mapping, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.data.regions import get_region
@@ -91,6 +91,10 @@ class WorkflowConfig:
             workflow-level lists).
         benchmarking_fraction: Fraction of invocations always executed
             fully at the home region for metric collection (§6.2: 10 %).
+        request_timeout_s: End-to-end watchdog deadline per request, in
+            virtual seconds; a request still pending when it expires is
+            marked *timed out* instead of staying silently incomplete.
+            ``None`` disables the watchdog.
         iam_policy: Opaque policy document attached to every role.
     """
 
@@ -103,6 +107,7 @@ class WorkflowConfig:
         default_factory=dict
     )
     benchmarking_fraction: float = 0.10
+    request_timeout_s: Optional[float] = 3600.0
     iam_policy: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -123,6 +128,11 @@ class WorkflowConfig:
             raise ConfigurationError(
                 f"benchmarking_fraction must be in [0, 1], got "
                 f"{self.benchmarking_fraction}"
+            )
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ConfigurationError(
+                f"request_timeout_s must be positive or None, got "
+                f"{self.request_timeout_s}"
             )
         if not self.permitted_regions_for_function(
             None, candidates=[self.home_region]
@@ -158,25 +168,7 @@ class WorkflowConfig:
         return tuple(r for r in candidates if self.permits(function, r))
 
     def with_tolerances(self, tolerances: Tolerances) -> "WorkflowConfig":
-        return WorkflowConfig(
-            home_region=self.home_region,
-            priority=self.priority,
-            tolerances=tolerances,
-            allowed_regions=self.allowed_regions,
-            disallowed_regions=self.disallowed_regions,
-            function_constraints=self.function_constraints,
-            benchmarking_fraction=self.benchmarking_fraction,
-            iam_policy=self.iam_policy,
-        )
+        return replace(self, tolerances=tolerances)
 
     def with_home_region(self, region: str) -> "WorkflowConfig":
-        return WorkflowConfig(
-            home_region=region,
-            priority=self.priority,
-            tolerances=self.tolerances,
-            allowed_regions=self.allowed_regions,
-            disallowed_regions=self.disallowed_regions,
-            function_constraints=self.function_constraints,
-            benchmarking_fraction=self.benchmarking_fraction,
-            iam_policy=self.iam_policy,
-        )
+        return replace(self, home_region=region)

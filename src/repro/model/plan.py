@@ -9,8 +9,8 @@ Plans expire (§5.2) so stale decisions never route traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.model.dag import WorkflowDAG

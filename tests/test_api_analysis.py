@@ -5,7 +5,6 @@ import pytest
 from repro.common.errors import WorkflowDefinitionError
 from repro.core.analysis import analyze_workflow, stage_names
 from repro.core.api import ExecutionContext, Payload, Workflow
-from repro.cloud.functions import WorkProfile
 
 
 def simple_workflow():

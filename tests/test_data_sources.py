@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.carbon import (
-    GRID_PROFILES,
-    CarbonIntensitySource,
-    generate_carbon_trace,
-)
+from repro.data.carbon import CarbonIntensitySource, generate_carbon_trace
 from repro.data.latency import LatencySource, great_circle_km
 from repro.data.pricing import PricingSource
 from repro.data.regions import (

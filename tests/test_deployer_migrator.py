@@ -191,6 +191,89 @@ class TestMigrator:
         regions = {r for _f, r in needed}
         assert regions == {"us-east-1", "us-west-2"}
 
+    def test_partial_failure_rolls_back_created_deployments(self, deployment):
+        """Regression: a failure on the Nth function used to leak the
+        N-1 deployments already created in the target region."""
+        cloud, _, deployed, executor, utility = deployment
+        migrator = DeploymentMigrator(utility, deployed, executor)
+        calls = []
+        original = utility.deploy_function
+
+        def flaky(d, ex, spec, region, **kwargs):
+            calls.append((spec.name, region))
+            if len(calls) == 2:
+                raise DeploymentError("region ran out of capacity")
+            return original(d, ex, spec, region, **kwargs)
+
+        utility.deploy_function = flaky
+        report = migrator.migrate(self.make_plan_set(deployed, "ca-central-1"))
+        assert not report.activated
+        assert len(report.deployed) == 1
+        assert report.rolled_back == report.deployed[::-1]
+        # Nothing is left behind in the region the plan never activated in.
+        for spec in deployed.workflow.functions:
+            assert not cloud.functions.is_deployed(
+                deployed.name, spec.name, "ca-central-1"
+            )
+        assert migrator.pending is not None
+
+    def test_failure_preserves_unrelated_active_plan(self, deployment):
+        """Regression: a failed migration used to clear the active plan
+        unconditionally, discarding a still-valid, fully materialised
+        plan set that had nothing to do with the failure."""
+        cloud, _, deployed, executor, utility = deployment
+        migrator = DeploymentMigrator(utility, deployed, executor)
+        good = self.make_plan_set(deployed, "us-west-2")
+        assert migrator.migrate(good).activated
+        cloud.functions.set_region_available("ca-central-1", False)
+        report = migrator.migrate(self.make_plan_set(deployed, "ca-central-1"))
+        assert not report.activated
+        # The us-west-2 plan is untouched: it was not the failing one.
+        assert executor.fetch_active_plan().regions_used == ("us-west-2",)
+
+    def test_failure_of_active_plan_defaults_home(self, deployment):
+        """When the *failing* plan set is the active one (a retry of a
+        rollout whose region died mid-flight), §6.1 applies: default
+        back to the home region."""
+        cloud, _, deployed, executor, utility = deployment
+        migrator = DeploymentMigrator(utility, deployed, executor)
+        plan_set = self.make_plan_set(deployed, "ca-central-1")
+        assert migrator.migrate(plan_set).activated
+        # The region dies and loses its deployments; re-migrating the
+        # same (now active) plan set fails.
+        cloud.functions.set_region_available("ca-central-1", False)
+        for spec in deployed.workflow.functions:
+            cloud.functions.remove(deployed.name, spec.name, "ca-central-1")
+        report = migrator.migrate(plan_set)
+        assert not report.activated
+        assert executor.fetch_active_plan().regions_used == ("us-east-1",)
+
+    def test_activation_failure_keeps_deployments_and_parks_plan(
+        self, deployment, monkeypatch
+    ):
+        """KV store dies between deployment and activation: the created
+        functions are what the parked plan needs, so they survive."""
+        cloud, _, deployed, executor, utility = deployment
+        migrator = DeploymentMigrator(utility, deployed, executor)
+
+        def unreachable(plan_set):
+            raise DeploymentError("metadata store unreachable")
+
+        monkeypatch.setattr(executor, "stage_plan_set", unreachable)
+        report = migrator.migrate(self.make_plan_set(deployed, "ca-central-1"))
+        assert not report.activated
+        assert report.failed is None
+        assert len(report.deployed) == 2
+        for spec in deployed.workflow.functions:
+            assert cloud.functions.is_deployed(
+                deployed.name, spec.name, "ca-central-1"
+            )
+        assert migrator.pending is not None
+        monkeypatch.undo()
+        retry = migrator.retry_pending()
+        assert retry is not None and retry.activated
+        assert retry.deployed == ()  # everything was already in place
+
     def test_decommission_keeps_home_and_needed(self, deployment):
         cloud, _, deployed, executor, utility = deployment
         migrator = DeploymentMigrator(utility, deployed, executor)

@@ -1,10 +1,9 @@
 """Tests for the Deployment Manager control loop (Fig. 6, §5.2)."""
 
-import pytest
 
 from repro.apps import get_app
 from repro.cloud.provider import SimulatedCloud
-from repro.common.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.common.clock import SECONDS_PER_DAY
 from repro.core.manager import DeploymentManager
 from repro.core.solver import SolverSettings
 from repro.experiments.harness import deploy_benchmark, warm_up
@@ -140,7 +139,6 @@ class TestRealizedSavings:
         # Home-routed traffic.
         warm_up(executor, app, "small", n=5)
         # Plan-routed traffic in the clean region.
-        from repro.core.migrator import DeploymentMigrator
         from repro.model.plan import DeploymentPlan, HourlyPlanSet
 
         plan_set = HourlyPlanSet.daily(

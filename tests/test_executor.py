@@ -290,3 +290,55 @@ class TestMessageSize:
     def test_grows_with_plan_entries(self):
         assert message_size(1000, 10) > message_size(1000, 2)
         assert message_size(0, 1) > 0
+
+
+class TestRequestLifecycle:
+    def test_completed_request_tracked(self, t2s_deployment):
+        cloud, app, _, executor, _ = t2s_deployment
+        rid = executor.invoke(app.make_input("small"), force_home=True)
+        assert executor.request_status(rid) == "pending"
+        assert rid in executor.pending_requests()
+        cloud.run_until_idle()
+        assert executor.request_status(rid) == "completed"
+        assert executor.pending_requests() == ()
+        stats = executor.reliability()
+        assert stats.completed_requests == 1
+        assert stats.failed_requests == 0
+        assert stats.timed_out_requests == 0
+        assert stats.tracked_requests == 1
+
+    def test_unknown_request_has_no_status(self, t2s_deployment):
+        _, _, _, executor, _ = t2s_deployment
+        assert executor.request_status("no-such-request") is None
+
+    def test_every_invocation_reaches_a_terminal_state(self, t2s_deployment):
+        cloud, app, _, executor, _ = t2s_deployment
+        rids = [executor.invoke(app.make_input("small")) for _ in range(5)]
+        cloud.run_until_idle()
+        assert executor.pending_requests() == ()
+        for rid in rids:
+            assert executor.request_status(rid) == "completed"
+
+    def test_invoke_direct_tracked_too(self, t2s_deployment):
+        cloud, app, _, executor, _ = t2s_deployment
+        rid = executor.invoke_direct(app.make_input("small"))
+        cloud.run_until_idle()
+        assert executor.request_status(rid) == "completed"
+
+    def test_no_watchdog_when_timeout_disabled(self):
+        cloud = SimulatedCloud(seed=11)
+        app = get_app("text2speech_censoring")
+        config = WorkflowConfig(
+            home_region="us-east-1",
+            benchmarking_fraction=0.0,
+            request_timeout_s=None,
+        )
+        deployed, executor, _ = deploy_benchmark(app, cloud, config=config)
+        rid = executor.invoke(app.make_input("small"))
+        cloud.run_until_idle()
+        assert executor.request_status(rid) == "completed"
+        assert executor.reliability().timed_out_requests == 0
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(Exception, match="request_timeout_s"):
+            WorkflowConfig(home_region="us-east-1", request_timeout_s=0.0)

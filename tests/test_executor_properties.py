@@ -12,7 +12,6 @@ think of.
 
 from typing import Dict, Tuple
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

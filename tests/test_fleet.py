@@ -9,7 +9,6 @@ from repro.core.deployer import DeploymentUtility
 from repro.core.fleet import FleetManager
 from repro.core.solver import SolverSettings
 from repro.core.trigger import TriggerSettings
-from repro.experiments.harness import deploy_benchmark
 from repro.metrics.carbon import TransmissionScenario
 
 FAST = SolverSettings(batch_size=30, max_samples=60, cov_threshold=0.2,

@@ -1,7 +1,6 @@
 """Cross-module integration scenarios exercising full paper workflows."""
 
 import numpy as np
-import pytest
 
 from repro.apps import get_app
 from repro.cloud.provider import SimulatedCloud

@@ -1,10 +1,9 @@
 """Property-based tests (hypothesis) on core data structures and models."""
 
-import math
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.cloud.simulator import SimulationEnvironment

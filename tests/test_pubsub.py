@@ -8,7 +8,7 @@ from repro.cloud.pubsub import (
     PUBLISH_OVERHEAD_S,
     Message,
 )
-from repro.common.errors import MessageDeliveryError
+from repro.common.errors import MessageDeliveryError, WorkflowDefinitionError
 
 
 class TestTopics:
@@ -150,3 +150,70 @@ class TestRetrySemantics:
         cloud.run_until_idle()
         gaps = [b - a for a, b in zip(attempts, attempts[1:])]
         assert all(b > a for a, b in zip(gaps, gaps[1:]))  # exponential
+
+    def test_non_retryable_error_dead_letters_immediately(self, cloud):
+        """A deterministic error (``retryable = False``) cannot be fixed
+        by re-running the handler: it must skip the retry loop."""
+        cloud.pubsub.create_topic("t", "us-east-1")
+        attempts = []
+
+        def malformed(message):
+            attempts.append(1)
+            raise WorkflowDefinitionError("bad DAG")
+
+        cloud.pubsub.subscribe("t", "us-east-1", malformed)
+        cloud.pubsub.publish(
+            "t", "us-east-1", Message(body=None, size_bytes=0, workflow="wf"),
+            source_region="us-east-1",
+        )
+        cloud.run_until_idle()
+        assert len(attempts) == 1
+        assert cloud.pubsub.topic_stats("t", "us-east-1") == (0, 1)
+        assert cloud.pubsub.dead_letter_count("wf") == 1
+        assert cloud.pubsub.retry_count("wf") == 0
+
+    def test_per_workflow_counters(self, cloud):
+        cloud.pubsub.create_topic("t", "us-east-1")
+
+        def broken(message):
+            raise RuntimeError("nope")
+
+        cloud.pubsub.subscribe("t", "us-east-1", broken)
+        for wf in ("alpha", "alpha", "beta"):
+            cloud.pubsub.publish(
+                "t", "us-east-1", Message(body=None, size_bytes=0, workflow=wf),
+                source_region="us-east-1",
+            )
+        cloud.run_until_idle()
+        assert cloud.pubsub.retry_count("alpha") == 2 * (MAX_DELIVERY_ATTEMPTS - 1)
+        assert cloud.pubsub.retry_count("beta") == MAX_DELIVERY_ATTEMPTS - 1
+        assert cloud.pubsub.dead_letter_count("alpha") == 2
+        assert cloud.pubsub.dead_letter_count("beta") == 1
+        assert cloud.pubsub.retry_count("unknown") == 0
+        assert cloud.pubsub.dead_letter_count("unknown") == 0
+
+    def test_dead_letter_listener_notified(self, cloud):
+        cloud.pubsub.create_topic("t", "us-east-1")
+        seen = []
+        cloud.pubsub.add_dead_letter_listener(
+            lambda topic, message, error: seen.append((topic, error))
+        )
+        cloud.pubsub.publish(
+            "t", "us-east-1", Message(body=None, size_bytes=0, workflow="wf"),
+            source_region="us-east-1",
+        )
+        cloud.run_until_idle()
+        assert seen == [("t", "no subscriber")]
+
+    def test_direct_dead_letter_counts_without_delivery(self, cloud):
+        """Publishers that can prove delivery is impossible record the
+        loss up-front instead of raising inside a scheduled callback."""
+        seen = []
+        cloud.pubsub.add_dead_letter_listener(
+            lambda topic, message, error: seen.append(topic)
+        )
+        message = Message(body=None, size_bytes=0, workflow="wf")
+        cloud.pubsub.dead_letter("ghost", message, "no deliverable region")
+        assert cloud.pubsub.dead_letter_count("wf") == 1
+        assert ("ghost", message, "no deliverable region") in cloud.pubsub.dead_letters
+        assert seen == ["ghost"]

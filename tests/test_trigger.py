@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.trigger import EarnReport, TokenBucket, TriggerSettings
+from repro.core.trigger import EarnReport, TokenBucket
 
 
 @pytest.fixture
