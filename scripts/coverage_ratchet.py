@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Coverage ratchet: fail CI if line coverage regresses below the floor.
+
+Usage::
+
+    python scripts/coverage_ratchet.py coverage.json            # check
+    python scripts/coverage_ratchet.py coverage.json --update   # raise floor
+
+``coverage.json`` is the output of ``coverage json`` (produced in CI by
+``pytest --cov=repro --cov-report=json``).  The floor lives in
+``coverage-ratchet.json`` at the repo root; the check passes while total
+line coverage >= floor, and ``--update`` raises the floor to the current
+total (never lowers it).  Either way the ten least-covered modules are
+printed so regressions are easy to localise from the job summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RATCHET_FILE = REPO_ROOT / "coverage-ratchet.json"
+#: Never let --update push the floor above this: leaves headroom so a
+#: single over-covered run does not make the ratchet unachievable.
+CEILING_PCT = 98.0
+
+
+def load_totals(coverage_json: pathlib.Path) -> tuple[float, list[tuple[str, float, int]]]:
+    data = json.loads(coverage_json.read_text(encoding="utf-8"))
+    total = float(data["totals"]["percent_covered"])
+    modules = []
+    for filename, entry in data.get("files", {}).items():
+        summary = entry["summary"]
+        statements = int(summary.get("num_statements", 0))
+        if statements == 0:
+            continue
+        modules.append(
+            (filename, float(summary["percent_covered"]), statements)
+        )
+    return total, modules
+
+
+def print_least_covered(modules: list[tuple[str, float, int]], n: int = 10) -> None:
+    print(f"\n{n} least-covered modules:")
+    print(f"{'module':60s} {'cover%':>7s} {'stmts':>6s}")
+    for name, pct, stmts in sorted(modules, key=lambda m: (m[1], -m[2]))[:n]:
+        print(f"{name:60s} {pct:7.1f} {stmts:6d}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("coverage_json", type=pathlib.Path)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="raise the ratchet floor to the current coverage",
+    )
+    parser.add_argument(
+        "--ratchet-file",
+        type=pathlib.Path,
+        default=RATCHET_FILE,
+        help="path to the ratchet floor file (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.coverage_json.exists():
+        print(f"coverage report not found: {args.coverage_json}")
+        return 2
+
+    total, modules = load_totals(args.coverage_json)
+    ratchet_file = args.ratchet_file
+    ratchet = json.loads(ratchet_file.read_text(encoding="utf-8"))
+    floor = float(ratchet["min_line_coverage_pct"])
+
+    print(f"total line coverage: {total:.2f}% (ratchet floor: {floor:.2f}%)")
+    print_least_covered(modules)
+
+    if args.update:
+        new_floor = max(floor, min(total, CEILING_PCT))
+        if new_floor != floor:
+            ratchet["min_line_coverage_pct"] = round(new_floor, 2)
+            ratchet_file.write_text(
+                json.dumps(ratchet, indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"ratchet floor raised: {floor:.2f}% -> {new_floor:.2f}%")
+        else:
+            print("ratchet floor unchanged")
+        return 0
+
+    if total + 1e-9 < floor:
+        print(
+            f"\nFAIL: coverage {total:.2f}% fell below the ratchet floor "
+            f"{floor:.2f}%.  Add tests for the modules above, or (only "
+            "with reviewer sign-off) lower coverage-ratchet.json."
+        )
+        return 1
+    print("coverage ratchet OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

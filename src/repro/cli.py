@@ -32,6 +32,8 @@ from repro.experiments.harness import (
     warm_up,
 )
 from repro.metrics.carbon import TransmissionScenario
+from repro.obs.render import render_trace_summary
+from repro.obs.trace import Tracer
 
 
 def _parse_regions(raw: Optional[str]) -> tuple:
@@ -89,15 +91,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.chaos:
         home = args.coarse if args.coarse else HOME_REGION
         fault_plan = _default_chaos_plan(regions, home)
+    tracer = Tracer() if args.trace else None
     if args.coarse:
         outcome = run_coarse(
             app, args.size, args.coarse, seed=args.seed,
             n_invocations=args.invocations, fault_plan=fault_plan,
+            tracer=tracer,
         )
     else:
         outcome = run_caribou(
             app, args.size, regions, seed=args.seed,
             n_invocations=args.invocations, fault_plan=fault_plan,
+            tracer=tracer,
         )
     print(f"{outcome.label}: {outcome.n_invocations} invocations")
     print(f"  mean service time : {outcome.mean_service_time_s:8.3f} s")
@@ -116,6 +121,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         args.chaos or outcome.reliability.total_injected
     ):
         print(f"  reliability       : {outcome.reliability.summary()}")
+    if tracer is not None:
+        tracer.export(args.trace)
+        print(f"  trace             : {len(tracer)} spans -> {args.trace}")
+        print(render_trace_summary(tracer))
     return 0
 
 
@@ -183,6 +192,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--chaos", action="store_true",
                        help="inject the stock fault schedule (region outage, "
                             "5%% invocation failures, KV slowdown)")
+    p_run.add_argument("--trace", metavar="FILE", default=None,
+                       help="record a structured span trace of the run and "
+                            "write it to FILE as JSON Lines")
     p_run.add_argument("--seed", type=int, default=0)
     p_run.set_defaults(func=cmd_run)
 

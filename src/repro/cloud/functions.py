@@ -35,9 +35,12 @@ from repro.common.errors import (
     FunctionTimeoutError,
     RegionUnavailableError,
 )
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 
 if TYPE_CHECKING:
     from repro.cloud.faults import FaultInjector
+    from repro.obs.trace import Tracer
 
 #: Memory (MB) per vCPU on AWS Lambda (§7.1).
 MEMORY_MB_PER_VCPU = 1769.0
@@ -160,10 +163,14 @@ class FunctionService:
         env: SimulationEnvironment,
         ledger: MeteringLedger,
         faults: Optional["FaultInjector"] = None,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self._env = env
         self._ledger = ledger
         self._faults = faults
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
         self._deployments: Dict[Tuple[str, str], FunctionDeployment] = {}
         # (qualified_name, region) -> time the warm container was last used
         self._warm_until: Dict[Tuple[str, str], float] = {}
@@ -255,6 +262,8 @@ class FunctionService:
                     f"region {region} is down; cannot invoke {workflow}.{function}"
                 )
             fault = self._faults.invocation_fault(workflow, function, region)
+            if fault is not None:
+                self._metrics.counter("faas.fault_aborts", kind=fault).inc()
             if fault == "failure":
                 raise FunctionInvocationError(
                     f"injected invocation failure for {workflow}.{function} "
@@ -279,6 +288,25 @@ class FunctionService:
         duration = self._sample_duration(deployment.profile, payload_bytes, region)
         start = now + cold_delay
         self._warm_until[key] = start + duration + CONTAINER_KEEPALIVE_S
+
+        if self._tracer.enabled:
+            self._tracer.record(
+                "invocation",
+                f"{workflow}.{function}",
+                t0=start,
+                t1=start + duration,
+                workflow=workflow,
+                request_id=request_id,
+                node=node or function,
+                region=region,
+                cold_start=cold,
+                memory_mb=deployment.memory_mb,
+                payload_bytes=payload_bytes,
+            )
+        self._metrics.counter("faas.invocations", region=region).inc()
+        if cold:
+            self._metrics.counter("faas.cold_starts", region=region).inc()
+        self._metrics.histogram("faas.duration_s").observe(duration)
 
         ctx = FaasContext(
             env=self._env,

@@ -27,9 +27,12 @@ from repro.common.errors import (
     RegionUnavailableError,
 )
 from repro.data.latency import LatencySource
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 
 if TYPE_CHECKING:
     from repro.cloud.faults import FaultInjector
+    from repro.obs.trace import Tracer
 
 
 class KeyValueStore:
@@ -47,6 +50,8 @@ class KeyValueStore:
         ledger: MeteringLedger,
         base_latency_s: float = 0.004,
         faults: Optional["FaultInjector"] = None,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         """Args:
         env: Simulation environment.
@@ -57,6 +62,8 @@ class KeyValueStore:
             DynamoDB exhibits even for local callers.
         faults: Optional fault injector (KV op errors, latency
             inflation, host-region outages).
+        tracer: Span tracer (one ``kv`` span per operation).
+        metrics: Metrics registry (read/write units, latency).
         """
         self._env = env
         self.region = region
@@ -64,6 +71,8 @@ class KeyValueStore:
         self._ledger = ledger
         self._base_latency = base_latency_s
         self._faults = faults
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
         self._tables: Dict[str, Dict[str, Any]] = {}
 
     # -- infrastructure ----------------------------------------------------
@@ -91,7 +100,13 @@ class KeyValueStore:
         return latency
 
     def _meter(
-        self, table: str, caller_region: str, write: bool, workflow: str, request_id: str
+        self,
+        table: str,
+        caller_region: str,
+        write: bool,
+        workflow: str,
+        request_id: str,
+        op: str = "",
     ) -> float:
         self._ledger.record_kv_access(
             KvAccessRecord(
@@ -103,7 +118,27 @@ class KeyValueStore:
                 request_id=request_id,
             )
         )
-        return self._access_latency(caller_region)
+        latency = self._access_latency(caller_region)
+        op = op or ("write" if write else "read")
+        if self._tracer.enabled:
+            now = self._env.now()
+            self._tracer.record(
+                "kv",
+                f"{op}:{table}",
+                t0=now,
+                t1=now + latency,
+                workflow=workflow,
+                request_id=request_id,
+                op=op,
+                table=table,
+                region=self.region,
+                caller_region=caller_region,
+            )
+        self._metrics.counter(
+            "kv.writes" if write else "kv.reads", region=self.region
+        ).inc()
+        self._metrics.histogram("kv.access_latency_s").observe(latency)
+        return latency
 
     def _table(self, name: str) -> Dict[str, Any]:
         return self._tables.setdefault(name, {})
@@ -125,7 +160,7 @@ class KeyValueStore:
         self._check_fault(workflow)
         caller = caller_region or self.region
         self._table(table)[key] = copy.deepcopy(value)
-        return self._meter(table, caller, True, workflow, request_id)
+        return self._meter(table, caller, True, workflow, request_id, op="put")
 
     def get(
         self,
@@ -139,7 +174,7 @@ class KeyValueStore:
         """Fetch ``key``.  Returns ``(value or default, latency)``."""
         self._check_fault(workflow)
         caller = caller_region or self.region
-        latency = self._meter(table, caller, False, workflow, request_id)
+        latency = self._meter(table, caller, False, workflow, request_id, op="get")
         value = self._table(table).get(key, default)
         return copy.deepcopy(value), latency
 
@@ -154,7 +189,7 @@ class KeyValueStore:
         self._check_fault(workflow)
         caller = caller_region or self.region
         self._table(table).pop(key, None)
-        return self._meter(table, caller, True, workflow, request_id)
+        return self._meter(table, caller, True, workflow, request_id, op="delete")
 
     def update(
         self,
@@ -180,7 +215,7 @@ class KeyValueStore:
         current = copy.deepcopy(tbl.get(key, default))
         new_value = fn(current)
         tbl[key] = copy.deepcopy(new_value)
-        latency = self._meter(table, caller, True, workflow, request_id)
+        latency = self._meter(table, caller, True, workflow, request_id, op="update")
         return new_value, latency
 
     def conditional_put(
@@ -202,7 +237,7 @@ class KeyValueStore:
         self._check_fault(workflow)
         caller = caller_region or self.region
         tbl = self._table(table)
-        latency = self._meter(table, caller, True, workflow, request_id)
+        latency = self._meter(table, caller, True, workflow, request_id, op="conditional_put")
         current = tbl.get(key)
         if current != expected:
             raise ConditionalCheckFailed(
@@ -251,5 +286,5 @@ class KeyValueStore:
         """Return a deep copy of the whole table (DynamoDB Scan)."""
         self._check_fault(workflow)
         caller = caller_region or self.region
-        latency = self._meter(table, caller, False, workflow, request_id)
+        latency = self._meter(table, caller, False, workflow, request_id, op="scan")
         return copy.deepcopy(self._table(table)), latency

@@ -20,9 +20,15 @@ from repro.cloud.ledger import MeteringLedger, TransmissionRecord
 from repro.cloud.simulator import SimulationEnvironment
 from repro.common.errors import NetworkPartitionError
 from repro.data.latency import LatencySource
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 
 if TYPE_CHECKING:
     from repro.cloud.faults import FaultInjector
+    from repro.obs.trace import Tracer
+
+#: Histogram bucket bounds for transfer sizes, bytes.
+SIZE_BUCKETS = (1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9)
 
 #: Effective cross-region throughput for serverless payloads, bytes/sec.
 #: (Conservative relative to backbone capacity: per-connection TCP over
@@ -54,11 +60,15 @@ class Network:
         intra_region_bandwidth: float = DEFAULT_INTRA_REGION_BANDWIDTH,
         jitter_std: float = 0.08,
         faults: Optional["FaultInjector"] = None,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self._env = env
         self._latency = latency_source
         self._ledger = ledger
         self._faults = faults
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
         self._inter_bw = inter_region_bandwidth
         self._intra_bw = intra_region_bandwidth
         self._jitter_std = jitter_std
@@ -97,10 +107,32 @@ class Network:
         """
         if self._faults is not None and self._faults.partitioned(src, dst):
             self._faults.record("network_partition")
+            self._metrics.counter("network.partition_refusals").inc()
             raise NetworkPartitionError(
                 f"transfer {src} -> {dst} refused: regions are partitioned"
             )
         latency = self.transfer_latency(src, dst, size_bytes)
+        now = self._env.now()
+        if self._tracer.enabled:
+            self._tracer.record(
+                "transfer",
+                edge or f"{src}->{dst}",
+                t0=now,
+                t1=now + latency,
+                workflow=workflow,
+                request_id=request_id,
+                src=src,
+                dst=dst,
+                size_bytes=size_bytes,
+                transfer_kind=kind,
+            )
+        self._metrics.counter("network.transfers", kind=kind).inc()
+        if src != dst:
+            self._metrics.counter("network.egress_bytes").inc(size_bytes)
+        self._metrics.histogram("network.transfer_latency_s").observe(latency)
+        self._metrics.histogram(
+            "network.transfer_bytes", bounds=SIZE_BUCKETS
+        ).observe(size_bytes)
         self._ledger.record_transmission(
             TransmissionRecord(
                 workflow=workflow,

@@ -25,6 +25,8 @@ from repro.data.carbon import CarbonIntensitySource
 from repro.data.latency import LatencySource
 from repro.data.pricing import PricingSource
 from repro.data.regions import EVALUATION_REGIONS, get_region
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 class SimulatedCloud:
@@ -37,6 +39,8 @@ class SimulatedCloud:
         carbon_horizon_hours: int = 24 * 7,
         carbon_overrides: Optional[Mapping[str, Sequence[float]]] = None,
         fault_plan: Optional[FaultPlan] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         """Build a cloud.
 
@@ -52,6 +56,13 @@ class SimulatedCloud:
                 experiments.  Defaults to the empty plan, which injects
                 nothing and leaves every service's behaviour (including
                 its RNG streams) byte-identical to a fault-free build.
+            tracer: Structured span tracer all services report into.
+                Defaults to the no-op tracer; traced runs stay
+                byte-identical (ledger, RNG, event order) to untraced
+                ones because tracing only *observes*.
+            metrics: Metrics registry for operational counters,
+                gauges, and histograms.  Defaults to a fresh enabled
+                registry (aggregation is cheap and side-effect-free).
         """
         self.regions: tuple = tuple(regions if regions is not None else EVALUATION_REGIONS)
         for name in self.regions:
@@ -64,14 +75,22 @@ class SimulatedCloud:
         self.carbon_source = CarbonIntensitySource(
             hours=carbon_horizon_hours, seed=seed, overrides=carbon_overrides
         )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind_clock(self.env.clock)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self.faults = FaultInjector(self.fault_plan, self.env)
         self.network = Network(
-            self.env, self.latency_source, self.ledger, faults=self.faults
+            self.env, self.latency_source, self.ledger, faults=self.faults,
+            tracer=self.tracer, metrics=self.metrics,
         )
-        self.functions = FunctionService(self.env, self.ledger, faults=self.faults)
+        self.functions = FunctionService(
+            self.env, self.ledger, faults=self.faults,
+            tracer=self.tracer, metrics=self.metrics,
+        )
         self.pubsub = PubSubService(
-            self.env, self.network, self.ledger, faults=self.faults
+            self.env, self.network, self.ledger, faults=self.faults,
+            tracer=self.tracer, metrics=self.metrics,
         )
         self.storage = ObjectStore(self.env, self.network)
         self.registry = ContainerRegistry(self.env, self.network)
@@ -89,7 +108,8 @@ class SimulatedCloud:
         if region not in self._kvstores:
             get_region(region)
             self._kvstores[region] = KeyValueStore(
-                self.env, region, self.latency_source, self.ledger, faults=self.faults
+                self.env, region, self.latency_source, self.ledger,
+                faults=self.faults, tracer=self.tracer, metrics=self.metrics,
             )
         return self._kvstores[region]
 

@@ -23,9 +23,12 @@ from repro.cloud.ledger import MessagingRecord, MeteringLedger
 from repro.cloud.network import Network
 from repro.cloud.simulator import SimulationEnvironment
 from repro.common.errors import MessageDeliveryError, RegionUnavailableError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 
 if TYPE_CHECKING:
     from repro.cloud.faults import FaultInjector
+    from repro.obs.trace import Tracer
 
 #: Service-side processing time for accepting a publish, seconds.
 PUBLISH_OVERHEAD_S = 0.025
@@ -66,11 +69,15 @@ class PubSubService:
         publish_overhead_s: float = PUBLISH_OVERHEAD_S,
         delivery_overhead_s: float = DELIVERY_OVERHEAD_S,
         faults: Optional["FaultInjector"] = None,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self._env = env
         self._network = network
         self._ledger = ledger
         self._faults = faults
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
         self._publish_overhead = publish_overhead_s
         self._delivery_overhead = delivery_overhead_s
         self._topics: Dict[Tuple[str, str], _Topic] = {}
@@ -137,6 +144,7 @@ class PubSubService:
         inside a scheduled callback.
         """
         self._dead_letters.append((name, message, error))
+        self._metrics.counter("pubsub.dead_letters").inc()
         if message.workflow:
             self._dead_letters_by_workflow[message.workflow] = (
                 self._dead_letters_by_workflow.get(message.workflow, 0) + 1
@@ -165,34 +173,49 @@ class PubSubService:
         per-edge payload sizes and routes).
         """
         topic = self._require_topic(name, region)
-        if self._faults is not None and self._faults.region_down(region):
-            self._faults.record("region_outage")
-            raise RegionUnavailableError(
-                f"pub/sub in {region} is down; cannot accept publish to {name!r}"
-            )
-        self._ledger.record_message(
-            MessagingRecord(
-                workflow=message.workflow,
-                topic=name,
-                region=region,
-                start_s=self._env.now(),
-                size_bytes=message.size_bytes,
-                request_id=message.request_id,
-            )
-        )
-        transfer = self._network.transfer(
-            source_region,
-            region,
-            message.size_bytes,
+        with self._tracer.span(
+            "publish",
+            edge_label or f"publish:{name}",
             workflow=message.workflow,
             request_id=message.request_id,
-            kind="data",
-            edge=edge_label or f"publish:{name}",
-        )
-        arrival_delay = self._publish_overhead + transfer.latency_s
-        self._env.schedule(
-            arrival_delay, lambda: self._attempt_delivery(topic, message, attempt=1)
-        )
+            topic=name,
+            region=region,
+            source_region=source_region,
+            size_bytes=message.size_bytes,
+        ) as span:
+            if self._faults is not None and self._faults.region_down(region):
+                self._faults.record("region_outage")
+                raise RegionUnavailableError(
+                    f"pub/sub in {region} is down; cannot accept publish to {name!r}"
+                )
+            self._metrics.counter("pubsub.publishes", region=region).inc()
+            self._ledger.record_message(
+                MessagingRecord(
+                    workflow=message.workflow,
+                    topic=name,
+                    region=region,
+                    start_s=self._env.now(),
+                    size_bytes=message.size_bytes,
+                    request_id=message.request_id,
+                )
+            )
+            transfer = self._network.transfer(
+                source_region,
+                region,
+                message.size_bytes,
+                workflow=message.workflow,
+                request_id=message.request_id,
+                kind="data",
+                edge=edge_label or f"publish:{name}",
+            )
+            arrival_delay = self._publish_overhead + transfer.latency_s
+            # The span covers publish acceptance until the message is
+            # handed to the topic's region (delivery attempts follow).
+            span.end_at(self._env.now() + arrival_delay)
+            self._env.schedule(
+                arrival_delay,
+                lambda: self._attempt_delivery(topic, message, attempt=1),
+            )
         return self._publish_overhead
 
     def _attempt_delivery(self, topic: _Topic, message: Message, attempt: int) -> None:
@@ -219,6 +242,7 @@ class PubSubService:
                 )
                 return
             topic.delivered += 1
+            self._metrics.counter("pubsub.deliveries", region=topic.region).inc()
 
         self._env.schedule(self._delivery_overhead, deliver)
 
@@ -238,6 +262,7 @@ class PubSubService:
             topic.dead_lettered += 1
             self.dead_letter(topic.name, message, error)
             return
+        self._metrics.counter("pubsub.retries").inc()
         if message.workflow:
             self._retries_by_workflow[message.workflow] = (
                 self._retries_by_workflow.get(message.workflow, 0) + 1

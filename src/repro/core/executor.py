@@ -49,6 +49,8 @@ from repro.core.api import (
 from repro.model.config import WorkflowConfig
 from repro.model.dag import WorkflowDAG
 from repro.model.plan import DeploymentPlan, HourlyPlanSet
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.trace import NULL_TRACER
 
 #: Message envelope overhead (request id, node pointer, flags), bytes.
 HEADER_BYTES = 512.0
@@ -174,6 +176,9 @@ class CaribouExecutor:
         self._spec_of_node: Dict[str, FunctionSpec] = {
             n.name: self._wf.function(n.function) for n in self._dag.nodes
         }
+        # -- observability --------------------------------------------------
+        self._tracer = getattr(deployed.cloud, "tracer", NULL_TRACER)
+        self._metrics = getattr(deployed.cloud, "metrics", NULL_METRICS)
         # -- reliability bookkeeping ---------------------------------------
         self._faults = getattr(deployed.cloud, "faults", None)
         # request id -> "pending" | "completed" | "failed" | "timed_out"
@@ -300,6 +305,9 @@ class CaribouExecutor:
             )
         except CaribouError:
             self._home_fallbacks += 1
+            self._metrics.counter(
+                "executor.home_fallbacks", workflow=self._d.name
+            ).inc()
             return self.home_plan()
         now = self._cloud.now()
         if raw is None:
@@ -698,6 +706,9 @@ class CaribouExecutor:
         # migration) or its region is unreachable, fall back home.
         if target_region != home and unusable(target_region):
             self._home_fallbacks += 1
+            self._metrics.counter(
+                "executor.home_fallbacks", workflow=self._d.name
+            ).inc()
             target_region = home
             body = dict(body)
             body["plan"] = dict(plan)
@@ -736,6 +747,8 @@ class CaribouExecutor:
         """Track a request end to end: every tracked request finishes as
         completed, failed, or timed out — never silently lost."""
         self._requests[rid] = "pending"
+        self._tracer.open_request(rid, self._d.name)
+        self._metrics.counter("executor.requests", workflow=self._d.name).inc()
         timeout = self._d.config.request_timeout_s
         if timeout is not None:
             self._watchdogs[rid] = self._cloud.env.schedule(
@@ -751,6 +764,10 @@ class CaribouExecutor:
         handle = self._watchdogs.pop(rid, None)
         if handle is not None:
             handle.cancel()
+        self._tracer.close_request(rid, status)
+        self._metrics.counter(
+            "executor.requests_finished", workflow=self._d.name, status=status
+        ).inc()
         return True
 
     def _complete_request(self, rid: str) -> None:
@@ -766,6 +783,12 @@ class CaribouExecutor:
             self._requests[rid] = "timed_out"
             self._watchdogs.pop(rid, None)
             self._timed_out += 1
+            self._tracer.close_request(rid, "timed_out")
+            self._metrics.counter(
+                "executor.requests_finished",
+                workflow=self._d.name,
+                status="timed_out",
+            ).inc()
 
     def _on_dead_letter(self, topic: str, message: Message, error: str) -> None:
         """Pub/sub gave up on one of our messages: the request cannot

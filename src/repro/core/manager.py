@@ -234,7 +234,12 @@ class DeploymentManager:
         self, granularity_hours: int, now: float
     ) -> MigrationReport:
         evaluator = self.make_evaluator()
-        solver = HBSSSolver(evaluator, self._rng)
+        solver = HBSSSolver(
+            evaluator,
+            self._rng,
+            tracer=self._cloud.tracer,
+            metrics=self._cloud.metrics,
+        )
         if granularity_hours >= 24:
             hours: Sequence[int] = range(24)
         else:

@@ -19,6 +19,8 @@ from repro.common.errors import CaribouError
 from repro.core.deployer import DeploymentUtility
 from repro.core.executor import META_PLAN_KEY, CaribouExecutor, DeployedWorkflow
 from repro.model.plan import HourlyPlanSet
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.trace import NULL_TRACER
 
 
 @dataclass
@@ -45,6 +47,8 @@ class DeploymentMigrator:
         self._utility = utility
         self._d = deployed
         self._executor = executor
+        self._tracer = getattr(deployed.cloud, "tracer", NULL_TRACER)
+        self._metrics = getattr(deployed.cloud, "metrics", NULL_METRICS)
         self._pending: Optional[HourlyPlanSet] = None
         self.migrations_performed = 0
         self.activations = 0
@@ -81,21 +85,56 @@ class DeploymentMigrator:
         if it is a *different* plan set — is left in place, and the
         failed plan set is parked for :meth:`retry_pending`.
         """
+        self._metrics.counter(
+            "migration.attempts", workflow=self._d.name
+        ).inc()
+        with self._tracer.span(
+            "migration", self._d.name, workflow=self._d.name
+        ) as scope:
+            report = self._do_migrate(plan_set)
+            scope.set(
+                activated=report.activated,
+                n_deployed=len(report.deployed),
+                n_rolled_back=len(report.rolled_back),
+            )
+            if report.failed is not None:
+                scope.set(failed=f"{report.failed[0]}@{report.failed[1]}")
+        if report.activated:
+            self._metrics.counter(
+                "migration.activations", workflow=self._d.name
+            ).inc()
+        else:
+            self._metrics.counter(
+                "migration.failures", workflow=self._d.name
+            ).inc()
+        return report
+
+    def _do_migrate(self, plan_set: HourlyPlanSet) -> MigrationReport:
         home = self._d.config.home_region
         created: List[Tuple[str, str]] = []
         for function, region in self.missing_deployments(plan_set):
             spec = self._d.workflow.function(function)
             try:
-                self._utility.deploy_function(
-                    self._d,
-                    self._executor,
-                    spec,
-                    region,
-                    copy_image_from=home,
-                )
+                with self._tracer.span(
+                    "deploy",
+                    f"{function}@{region}",
+                    workflow=self._d.name,
+                    function=function,
+                    region=region,
+                ):
+                    self._utility.deploy_function(
+                        self._d,
+                        self._executor,
+                        spec,
+                        region,
+                        copy_image_from=home,
+                    )
             except CaribouError as exc:
                 self._pending = plan_set
                 rolled_back = self._rollback(created)
+                self._metrics.counter(
+                    "migration.rollbacks", workflow=self._d.name
+                ).inc(len(rolled_back))
                 # Only default back to home (§6.1) when the *failing*
                 # plan set is the one currently active: clearing an
                 # unrelated, fully materialised plan set would discard
@@ -111,6 +150,9 @@ class DeploymentMigrator:
                 )
             created.append((function, region))
             self.migrations_performed += 1
+            self._metrics.counter(
+                "migration.deploys", workflow=self._d.name
+            ).inc()
 
         try:
             self._executor.stage_plan_set(plan_set)

@@ -33,6 +33,8 @@ import numpy as np
 from repro.core.solver.evaluation import PlanEvaluator
 from repro.metrics.montecarlo import WorkflowEstimate
 from repro.model.plan import DeploymentPlan, HourlyPlanSet
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -82,13 +84,37 @@ class SolveResult:
 class HBSSSolver:
     """Alg. 1, parameterised by a :class:`PlanEvaluator`."""
 
-    def __init__(self, evaluator: PlanEvaluator, rng: np.random.Generator):
+    def __init__(
+        self,
+        evaluator: PlanEvaluator,
+        rng: np.random.Generator,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self._ev = evaluator
         self._rng = rng
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
 
     # -- public API ------------------------------------------------------------
     def solve_hour(self, hour: int) -> SolveResult:
         """Find the best deployment plan for one hour of the day."""
+        with self._tracer.span("solver_hour", f"hour={hour}", hour=hour) as scope:
+            result = self._solve_hour(hour)
+            scope.set(
+                iterations=result.iterations,
+                accepted=result.accepted,
+                plans_evaluated=result.plans_evaluated,
+            )
+        self._metrics.counter("solver.hours_solved").inc()
+        self._metrics.counter("solver.iterations").inc(result.iterations)
+        self._metrics.counter("solver.accepted").inc(result.accepted)
+        self._metrics.counter("solver.plans_evaluated").inc(
+            result.plans_evaluated
+        )
+        return result
+
+    def _solve_hour(self, hour: int) -> SolveResult:
         start_time = time.perf_counter()
         ev = self._ev
         dag = ev.dag
@@ -125,9 +151,19 @@ class HBSSSolver:
                 continue
             metric = ev.metric(candidate, hour)
             deployments[candidate] = metric
-            if metric < current_metric or self._mut(
+            took = metric < current_metric or self._mut(
                 gamma, current_metric, metric
-            ):
+            )
+            if self._tracer.enabled:
+                self._tracer.record(
+                    "solver_iteration",
+                    f"hour={hour}#{iterations}",
+                    hour=hour,
+                    iteration=iterations,
+                    metric=metric,
+                    accepted=took,
+                )
+            if took:
                 current, current_metric = candidate, metric
                 gamma *= ev.settings.gamma_decay
                 accepted += 1
@@ -156,7 +192,15 @@ class HBSSSolver:
         hour_list = list(hours) if hours is not None else list(range(24))
         if not hour_list:
             raise ValueError("need at least one hour to solve for")
-        results = [self.solve_hour(h) for h in hour_list]
+        with self._tracer.span(
+            "solve", f"hours={len(hour_list)}", n_hours=len(hour_list)
+        ) as scope:
+            results = [self.solve_hour(h) for h in hour_list]
+            scope.set(
+                iterations=sum(r.iterations for r in results),
+                accepted=sum(r.accepted for r in results),
+            )
+        self._metrics.counter("solver.solves").inc()
         plans = {res.hour: res.best_plan for res in results}
         return HourlyPlanSet(plans), results
 

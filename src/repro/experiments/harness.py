@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from repro.metrics.latency import TransferLatencyModel
 from repro.metrics.manager import MetricsManager
 from repro.model.config import Tolerances, WorkflowConfig
 from repro.model.plan import DeploymentPlan, HourlyPlanSet
+from repro.obs.trace import Tracer
 
 HOME_REGION = "us-east-1"
 
@@ -91,6 +92,9 @@ class RunOutcome:
     regions_used: Tuple[str, ...] = ()
     solver_stats: Optional[SolverStats] = None
     reliability: Optional[ReliabilityStats] = None
+    #: Flat ``cloud.metrics.snapshot()`` of the run's operational
+    #: counters/histograms (always present for harness-driven runs).
+    metrics: Optional[Dict[str, Any]] = None
 
     def carbon(self, scenario: str) -> float:
         return self.per_scenario[scenario].mean_carbon_g
@@ -200,7 +204,12 @@ def solve_plan_set(
         settings=solver_settings,
         stats=stats,
     )
-    solver = HBSSSolver(evaluator, cloud.env.rng.get(f"solver:{deployed.name}"))
+    solver = HBSSSolver(
+        evaluator,
+        cloud.env.rng.get(f"solver:{deployed.name}"),
+        tracer=cloud.tracer,
+        metrics=cloud.metrics,
+    )
     plan_set, _ = solver.solve_day(hours)
     return plan_set
 
@@ -267,6 +276,7 @@ def _run_measurement(
     reliability = (
         executor.reliability() if hasattr(executor, "reliability") else None
     )
+    metrics_snapshot = cloud.metrics.snapshot()
     return RunOutcome(
         app_name=app.name,
         input_size=input_size,
@@ -283,6 +293,7 @@ def _run_measurement(
         regions_used=regions_used,
         solver_stats=solver_stats,
         reliability=reliability,
+        metrics=metrics_snapshot,
     )
 
 
@@ -295,6 +306,7 @@ def run_coarse(
     days: float = 6.5,
     scenarios: Optional[Sequence[TransmissionScenario]] = None,
     fault_plan: Optional[FaultPlan] = None,
+    tracer: Optional[Tracer] = None,
 ) -> RunOutcome:
     """Manual static single-region deployment (Fig. 7 "Coarse" bars).
 
@@ -305,7 +317,7 @@ def run_coarse(
         TransmissionScenario.best_case(),
         TransmissionScenario.worst_case(),
     )
-    cloud = SimulatedCloud(seed=seed, fault_plan=fault_plan)
+    cloud = SimulatedCloud(seed=seed, fault_plan=fault_plan, tracer=tracer)
     deployed, executor, utility = deploy_benchmark(app, cloud)
     # Materialise every function in the target region and pin the plan.
     if region != deployed.config.home_region:
@@ -345,6 +357,7 @@ def run_caribou(
     solver_settings: SolverSettings = BENCH_SOLVER_SETTINGS,
     label: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
+    tracer: Optional[Tracer] = None,
 ) -> RunOutcome:
     """Caribou fine-grained deployment over a region set (Fig. 7 "Fine").
 
@@ -359,7 +372,9 @@ def run_caribou(
     scenario_for_solver = scenario_for_solver or scenarios[0]
     if HOME_REGION not in regions:
         raise ValueError(f"region set must include the home region {HOME_REGION}")
-    cloud = SimulatedCloud(seed=seed, regions=tuple(regions), fault_plan=fault_plan)
+    cloud = SimulatedCloud(
+        seed=seed, regions=tuple(regions), fault_plan=fault_plan, tracer=tracer
+    )
     deployed, executor, utility = deploy_benchmark(
         app, cloud, tolerances=tolerances
     )

@@ -1,0 +1,57 @@
+"""Observability layer: structured tracing and a metrics registry.
+
+The execution logs feeding the paper's models (§6.2 -> §7.1) are only
+trustworthy if one can see *why* a run produced its numbers.  This
+package provides that visibility without perturbing the simulation:
+
+* :class:`~repro.obs.trace.Tracer` — structured, virtual-clock-stamped
+  spans (request, invocation, publish, KV op, network transfer, solver
+  iteration, migration) with parent/child links, exportable as
+  deterministic JSONL;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  histograms the cloud services and the Caribou runtime report into;
+* :mod:`~repro.obs.render` — span-tree and summary renderers for the
+  ``caribou run --trace`` CLI path and offline analysis.
+
+Everything is inert by default: services hold the no-op
+:data:`~repro.obs.trace.NULL_TRACER`, which never allocates spans,
+never touches the RNG, and never schedules events — a run with tracing
+disabled is byte-identical (ledger and all) to one built before this
+package existed.
+"""
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.render import (
+    load_jsonl,
+    render_span_tree,
+    render_trace_summary,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    SPAN_KINDS,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullTracer",
+    "SPAN_KINDS",
+    "Span",
+    "Tracer",
+    "load_jsonl",
+    "render_span_tree",
+    "render_trace_summary",
+]

@@ -1,0 +1,228 @@
+"""Lightweight metrics registry (counters, gauges, histograms).
+
+The services of the simulated cloud and the Caribou runtime report
+operational metrics here — invocation counts per region, cold starts,
+pub/sub retries, KV read/write units, network egress, solver progress.
+Unlike the :class:`~repro.cloud.ledger.MeteringLedger` (which stores
+every record for the paper's carbon/cost models), the registry keeps
+only aggregates, so it stays cheap at any traffic volume.
+
+Instruments are identified by a name plus optional labels; repeated
+lookups return the same instrument.  A registry built with
+``enabled=False`` (or the shared :data:`NULL_METRICS`) hands out no-op
+instruments, making instrumentation free where observability is off.
+All state is plain dict/float bookkeeping — no RNG, no clock, no
+events — so recording metrics can never perturb a simulation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+#: Default histogram bucket upper bounds (seconds-oriented; byte-sized
+#: histograms pass their own).  The terminal +inf bucket is implicit.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+
+def _key(name: str, labels: Dict[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease by {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Streaming distribution summary: count/sum/min/max + buckets.
+
+    Buckets hold counts of observations ``<= bound``; an implicit final
+    bucket catches the rest.  No raw samples are retained.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Tuple[float, ...] = DEFAULT_BUCKETS):
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted, got {bounds}")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket bounds (upper-bound biased)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.bucket_counts):
+            seen += n
+            if seen >= target and n:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+
+class _NullInstrument:
+    """Stands in for every instrument type when the registry is off."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Hands out named instruments and snapshots their state."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors (get-or-create) --------------------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        key = _key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(key)
+        return inst
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        key = _key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(key)
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Iterable[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        key = _key(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(
+                key, tuple(bounds) if bounds is not None else DEFAULT_BUCKETS
+            )
+        return inst
+
+    # -- export ----------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat, sorted, JSON-serialisable view of every instrument."""
+        out: Dict[str, Any] = {}
+        for key in sorted(self._counters):
+            out[key] = self._counters[key].value
+        for key in sorted(self._gauges):
+            out[key] = self._gauges[key].value
+        for key in sorted(self._histograms):
+            h = self._histograms[key]
+            out[key] = {
+                "count": h.count,
+                "sum": h.total,
+                "mean": h.mean,
+                "min": h.min if h.count else 0.0,
+                "max": h.max if h.count else 0.0,
+            }
+        return out
+
+    def summary(self, prefix: str = "") -> str:
+        """Human-readable digest, one instrument per line."""
+        lines = []
+        for key, value in self.snapshot().items():
+            if prefix and not key.startswith(prefix):
+                continue
+            if isinstance(value, dict):
+                lines.append(
+                    f"{key}: n={value['count']} mean={value['mean']:.6g} "
+                    f"min={value['min']:.6g} max={value['max']:.6g}"
+                )
+            else:
+                lines.append(f"{key}: {value:g}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+#: Shared disabled registry for call sites that want a hard no-op.
+NULL_METRICS = MetricsRegistry(enabled=False)

@@ -20,8 +20,27 @@ from repro.experiments.harness import deploy_benchmark, run_caribou
 from repro.model.config import WorkflowConfig
 
 
-def make_cloud(plan, seed=42):
-    return SimulatedCloud(seed=seed, fault_plan=plan)
+@pytest.fixture
+def make_cloud():
+    """Factory for chaos clouds that cannot leak RNG state.
+
+    Each created cloud's RNG registry is snapshotted at birth and
+    restored in teardown — even when the test body fails mid-run — so a
+    half-consumed chaos stream can never bleed into a later test that
+    happens to reuse the same cloud object through a cached reference.
+    """
+    created = []
+
+    def factory(plan, seed=42):
+        cloud = SimulatedCloud(seed=seed, fault_plan=plan)
+        created.append((cloud, cloud.env.rng.snapshot()))
+        return cloud
+
+    try:
+        yield factory
+    finally:
+        for cloud, state in created:
+            cloud.env.rng.restore(state)
 
 
 class TestFaultRule:
@@ -96,7 +115,7 @@ class TestFaultInjector:
         assert not injector.partitioned("us-east-1", "us-west-2")
         assert injector.snapshot() == {}
 
-    def test_outage_follows_window(self):
+    def test_outage_follows_window(self, make_cloud):
         plan = FaultPlan().with_region_outage("us-west-2", start_s=10.0, end_s=20.0)
         cloud = make_cloud(plan)
         assert not cloud.faults.region_down("us-west-2")
@@ -108,7 +127,7 @@ class TestFaultInjector:
         cloud.run_until_idle()
         assert not cloud.faults.region_down("us-west-2")
 
-    def test_certain_rules_consume_no_randomness(self):
+    def test_certain_rules_consume_no_randomness(self, make_cloud):
         plan = FaultPlan().with_invocation_failures(1.0)
         cloud = make_cloud(plan)
         before = cloud.env.rng.get("faults").bit_generator.state
@@ -116,7 +135,7 @@ class TestFaultInjector:
         after = cloud.env.rng.get("faults").bit_generator.state
         assert before == after
 
-    def test_partition_is_symmetric(self):
+    def test_partition_is_symmetric(self, make_cloud):
         plan = FaultPlan().with_network_partition("us-east-1", "us-west-2")
         cloud = make_cloud(plan)
         assert cloud.faults.partitioned("us-east-1", "us-west-2")
@@ -130,7 +149,7 @@ class TestServiceWiring:
         app = get_app("rag_ingestion")
         return deploy_benchmark(app, cloud)
 
-    def test_invocation_failure_raised(self):
+    def test_invocation_failure_raised(self, make_cloud):
         plan = FaultPlan().with_invocation_failures(1.0)
         cloud = make_cloud(plan)
         deployed, _, _ = self._deploy(cloud)
@@ -141,7 +160,7 @@ class TestServiceWiring:
             )
         assert cloud.faults.snapshot() == {"invocation_failure": 1}
 
-    def test_invocation_timeout_raised(self):
+    def test_invocation_timeout_raised(self, make_cloud):
         plan = FaultPlan().with_invocation_timeouts(1.0)
         cloud = make_cloud(plan)
         deployed, _, _ = self._deploy(cloud)
@@ -151,13 +170,13 @@ class TestServiceWiring:
                 deployed.name, spec.name, "us-east-1", None, 0.0
             )
 
-    def test_region_outage_blocks_invocations_and_deploys(self):
+    def test_region_outage_blocks_invocations_and_deploys(self, make_cloud):
         plan = FaultPlan().with_region_outage("us-east-1")
         cloud = make_cloud(plan)
         with pytest.raises(RegionUnavailableError):
             self._deploy(cloud)
 
-    def test_cold_start_spike_multiplies_delay(self):
+    def test_cold_start_spike_multiplies_delay(self, make_cloud):
         factor = 50.0
         plain = SimulatedCloud(seed=7)
         spiked = make_cloud(FaultPlan().with_cold_start_spike(factor), seed=7)
@@ -176,14 +195,14 @@ class TestServiceWiring:
         assert delay_plain > 0  # first invocation is cold
         assert delay_spiked == pytest.approx(delay_plain * factor)
 
-    def test_kv_error_raises(self):
+    def test_kv_error_raises(self, make_cloud):
         plan = FaultPlan().with_kv_errors(1.0)
         cloud = make_cloud(plan)
         kv = cloud.kvstore("us-east-1")
         with pytest.raises(KeyValueStoreError):
             kv.put("t", "k", 1)
 
-    def test_kv_latency_inflated(self):
+    def test_kv_latency_inflated(self, make_cloud):
         factor = 3.0
         plain = SimulatedCloud(seed=7)
         slowed = make_cloud(FaultPlan().with_kv_latency(factor), seed=7)
@@ -191,13 +210,13 @@ class TestServiceWiring:
         inflated = slowed.kvstore("us-east-1").put("t", "k", 1)
         assert inflated == pytest.approx(base * factor)
 
-    def test_kv_host_outage_raises(self):
+    def test_kv_host_outage_raises(self, make_cloud):
         plan = FaultPlan().with_region_outage("us-east-1")
         cloud = make_cloud(plan)
         with pytest.raises(RegionUnavailableError):
             cloud.kvstore("us-east-1").get("t", "k")
 
-    def test_network_partition_refuses_transfer(self):
+    def test_network_partition_refuses_transfer(self, make_cloud):
         plan = FaultPlan().with_network_partition("us-east-1", "us-west-2")
         cloud = make_cloud(plan)
         with pytest.raises(NetworkPartitionError):
@@ -205,7 +224,7 @@ class TestServiceWiring:
         # Unrelated pairs still work.
         cloud.network.transfer("us-east-1", "ca-central-1", 100.0)
 
-    def test_publish_to_dark_region_raises(self):
+    def test_publish_to_dark_region_raises(self, make_cloud):
         plan = FaultPlan().with_region_outage("us-west-2")
         cloud = make_cloud(plan)
         cloud.pubsub.create_topic("t", "us-west-2")
@@ -215,7 +234,7 @@ class TestServiceWiring:
                 source_region="us-east-1",
             )
 
-    def test_delivery_during_outage_retries_then_dead_letters(self):
+    def test_delivery_during_outage_retries_then_dead_letters(self, make_cloud):
         # Publish accepted just before the outage window opens; delivery
         # attempts all land inside it.
         plan = FaultPlan().with_region_outage("us-west-2", start_s=0.01)
@@ -232,7 +251,7 @@ class TestServiceWiring:
         assert cloud.pubsub.dead_letter_count("wf") == 1
         assert cloud.pubsub.retry_count("wf") == MAX_DELIVERY_ATTEMPTS - 1
 
-    def test_outage_ending_lets_retry_succeed(self):
+    def test_outage_ending_lets_retry_succeed(self, make_cloud):
         # Outage so short that the first redelivery lands after it ends:
         # at-least-once glue rides out the window (§6.2).
         plan = FaultPlan().with_region_outage("us-west-2", start_s=0.01, end_s=0.3)
@@ -262,7 +281,7 @@ class TestExecutorResilience:
         deployed, executor, utility = deploy_benchmark(app, cloud, config=config)
         return app, deployed, executor, utility
 
-    def test_home_fallback_on_region_outage(self):
+    def test_home_fallback_on_region_outage(self, make_cloud):
         from repro.model.plan import DeploymentPlan, HourlyPlanSet
 
         # Materialise everything in us-west-2 while it is healthy, then
@@ -308,7 +327,7 @@ class TestExecutorResilience:
         assert executor.request_status(rid) == "failed"
         assert executor.reliability().dead_letters == 1
 
-    def test_watchdog_times_out_stalled_request(self):
+    def test_watchdog_times_out_stalled_request(self, make_cloud):
         # A gigantic cold-start spike pushes all effects far beyond the
         # request deadline: the watchdog must mark the request timed out.
         plan = FaultPlan().with_cold_start_spike(1e9)
@@ -321,7 +340,7 @@ class TestExecutorResilience:
         assert executor.request_status(rid) == "timed_out"
         assert executor.reliability().timed_out_requests == 1
 
-    def test_fetch_active_plan_survives_kv_outage(self):
+    def test_fetch_active_plan_survives_kv_outage(self, make_cloud):
         # KV errors start only after deployment (which itself writes the
         # plan to the store) has finished.
         errors_start = 50_000.0
