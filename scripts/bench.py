@@ -1,0 +1,319 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark harness (ROADMAP perf trajectory).
+
+Measures the repo's three hot paths plus the tracer's overhead, all in
+host time (virtual time is free — these numbers say how fast the
+*simulator* runs, not how fast the simulated cloud is):
+
+* ``solver_solves_per_s``   — HBSS ``solve_hour`` calls per second;
+* ``executor_events_per_s`` — simulation events per second through a
+  full Caribou run (executor + pubsub + KV + network);
+* ``mc_samples_per_s``      — Monte-Carlo simulation samples per second
+  inside ``estimate_profile`` (measured by the phase profiler);
+* ``tracer_overhead_pct``   — wall-clock cost of running with a live
+  :class:`~repro.obs.trace.Tracer` vs the no-op ``NULL_TRACER``,
+  best-of-3 each to shed scheduler noise.
+
+Results are written as ``BENCH_<label>.json`` (schema
+``caribou.bench/v1``) and optionally compared against a committed
+baseline: any throughput metric slower than ``--max-regression`` times
+the baseline fails the gate (exit code 1), which is what CI's
+perf-smoke job enforces.
+
+Usage::
+
+    python scripts/bench.py --smoke                     # quick CI shape
+    python scripts/bench.py --label mybox               # full run
+    python scripts/bench.py --smoke --baseline BENCH_baseline.json
+    python scripts/bench.py --smoke --update-baseline   # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.apps import get_app  # noqa: E402
+from repro.cloud.provider import SimulatedCloud  # noqa: E402
+from repro.core.solver import SolverStats  # noqa: E402
+from repro.experiments.harness import (  # noqa: E402
+    deploy_benchmark,
+    run_caribou,
+    solve_plan_set,
+    warm_up,
+)
+from repro.metrics.carbon import TransmissionScenario  # noqa: E402
+from repro.obs.profile import Profiler, set_profiler  # noqa: E402
+from repro.obs.trace import Tracer  # noqa: E402
+
+#: Schema identifier embedded in every benchmark document.
+BENCH_SCHEMA = "caribou.bench/v1"
+
+#: Metrics where *higher is better*; the regression gate applies to these.
+THROUGHPUT_METRICS = (
+    "executor_events_per_s",
+    "mc_samples_per_s",
+    "solver_solves_per_s",
+)
+
+APP = "text2speech_censoring"
+
+
+def validate_bench(doc: Dict[str, Any]) -> List[str]:
+    """Validate a benchmark document; returns a list of problems
+    (empty == valid).  Kept dependency-free on purpose — the repo has no
+    jsonschema package."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {BENCH_SCHEMA!r}"
+        )
+    if not isinstance(doc.get("label"), str) or not doc.get("label"):
+        problems.append("label must be a non-empty string")
+    if not isinstance(doc.get("smoke"), bool):
+        problems.append("smoke must be a boolean")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("metrics must be an object")
+        metrics = {}
+    for name in THROUGHPUT_METRICS + ("tracer_overhead_pct",):
+        entry = metrics.get(name)
+        if not isinstance(entry, dict):
+            problems.append(f"metrics.{name} missing")
+            continue
+        value = entry.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"metrics.{name}.value must be a number")
+        elif name in THROUGHPUT_METRICS and value <= 0:
+            problems.append(f"metrics.{name}.value must be positive")
+        if not isinstance(entry.get("unit"), str):
+            problems.append(f"metrics.{name}.unit must be a string")
+    phases = doc.get("phases")
+    if not isinstance(phases, dict):
+        problems.append("phases must be an object")
+    else:
+        for phase, entry in phases.items():
+            for key in ("calls", "self_s", "total_s"):
+                if key not in entry:
+                    problems.append(f"phases.{phase}.{key} missing")
+    return problems
+
+
+def check_regression(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float,
+) -> List[str]:
+    """Compare throughput metrics against a baseline document.
+
+    Returns failure lines for every metric slower than
+    ``baseline / max_regression``.  Absolute wall-clock numbers vary by
+    machine, so the gate is deliberately loose — it exists to catch
+    order-of-magnitude accidents (an O(n^2) slip, a hot path suddenly
+    allocating), not 10 % jitter.
+    """
+    failures: List[str] = []
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    for name in THROUGHPUT_METRICS:
+        base = (base_metrics.get(name) or {}).get("value")
+        cur = (cur_metrics.get(name) or {}).get("value")
+        if not base or not cur:
+            continue
+        ratio = base / cur
+        if ratio > max_regression:
+            failures.append(
+                f"{name}: {cur:.1f} vs baseline {base:.1f} "
+                f"({ratio:.2f}x slower, limit {max_regression:.2f}x)"
+            )
+    return failures
+
+
+# -------------------------------------------------------------------- workloads
+def bench_solver(smoke: bool) -> Dict[str, float]:
+    """HBSS solves/sec and MC samples/sec over a warmed-up deployment."""
+    profiler = Profiler()
+    prev = set_profiler(profiler)
+    try:
+        cloud = SimulatedCloud(seed=7)
+        app = get_app(APP)
+        deployed, executor, _ = deploy_benchmark(app, cloud)
+        warm_up(executor, app, "small", n=6 if smoke else 12)
+        stats = SolverStats()
+        hours = list(range(2 if smoke else 8))
+        t0 = time.perf_counter()
+        solve_plan_set(
+            deployed,
+            executor,
+            TransmissionScenario.best_case(),
+            hours=hours,
+            stats=stats,
+        )
+        elapsed = time.perf_counter() - t0
+    finally:
+        set_profiler(prev)
+    mc_s = profiler.total_s("mc.estimate_profile")
+    return {
+        "solver_solves_per_s": len(hours) / max(elapsed, 1e-9),
+        "mc_samples_per_s": stats.samples_drawn / max(mc_s, 1e-9),
+        "solver_wall_s": elapsed,
+        "mc_wall_s": mc_s,
+        "mc_samples": float(stats.samples_drawn),
+        "phases": profiler.snapshot(),  # hoisted into the doc by run_bench
+    }
+
+
+def _timed_run(n_invocations: int, tracer: Optional[Tracer]) -> Dict[str, float]:
+    """One full Caribou run; returns wall seconds and events executed."""
+    app = get_app(APP)
+    t0 = time.perf_counter()
+    outcome = run_caribou(
+        app,
+        "small",
+        ("us-east-1", "ca-central-1"),
+        seed=3,
+        n_invocations=n_invocations,
+        tracer=tracer,
+    )
+    elapsed = time.perf_counter() - t0
+    assert outcome.n_invocations == n_invocations
+    return {"wall_s": elapsed}
+
+
+def bench_executor(smoke: bool) -> Dict[str, float]:
+    """Events/sec through a full run (deploy + solve + invoke)."""
+    app = get_app(APP)
+    n = 6 if smoke else 24
+    t0 = time.perf_counter()
+    outcome = run_caribou(
+        app,
+        "small",
+        ("us-east-1", "ca-central-1"),
+        seed=3,
+        n_invocations=n,
+    )
+    elapsed = time.perf_counter() - t0
+    events = float(outcome.events_executed or 0)
+    return {
+        "executor_events_per_s": events / max(elapsed, 1e-9),
+        "executor_events": events,
+        "executor_wall_s": elapsed,
+    }
+
+
+def bench_tracer_overhead(smoke: bool) -> Dict[str, float]:
+    """Traced vs untraced wall clock, best-of-3 each."""
+    n = 4 if smoke else 12
+    repeats = 3
+    untraced = min(
+        _timed_run(n, tracer=None)["wall_s"] for _ in range(repeats)
+    )
+    traced = min(
+        _timed_run(n, tracer=Tracer())["wall_s"] for _ in range(repeats)
+    )
+    overhead = (traced - untraced) / max(untraced, 1e-9) * 100.0
+    return {
+        "tracer_overhead_pct": overhead,
+        "traced_wall_s": traced,
+        "untraced_wall_s": untraced,
+    }
+
+
+def run_bench(label: str, smoke: bool) -> Dict[str, Any]:
+    """Run every workload and assemble the benchmark document."""
+    units = {
+        "executor_events_per_s": "events/s",
+        "mc_samples_per_s": "samples/s",
+        "solver_solves_per_s": "solves/s",
+        "tracer_overhead_pct": "%",
+    }
+    raw: Dict[str, float] = {}
+    solver = bench_solver(smoke)
+    phases = solver.pop("phases")
+    raw.update(solver)
+    raw.update(bench_executor(smoke))
+    raw.update(bench_tracer_overhead(smoke))
+
+    metrics = {
+        name: {"unit": units.get(name, "s" if name.endswith("_s") else ""),
+               "value": value}
+        for name, value in sorted(raw.items())
+    }
+    return {
+        "app": APP,
+        "label": label,
+        "metrics": metrics,
+        "phases": phases,
+        "schema": BENCH_SCHEMA,
+        "smoke": smoke,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="local",
+                        help="suffix for BENCH_<label>.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, CI-sized workloads")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="compare against this committed baseline")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="fail if any throughput metric is this many "
+                             "times slower than baseline (default 2.0)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the result to BENCH_baseline.json")
+    parser.add_argument("--out-dir", default=str(REPO_ROOT),
+                        help="directory for BENCH_<label>.json")
+    args = parser.parse_args(argv)
+
+    doc = run_bench(args.label, args.smoke)
+    problems = validate_bench(doc)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 2
+
+    out_dir = Path(args.out_dir)
+    out_path = out_dir / f"BENCH_{args.label}.json"
+    out_path.write_text(
+        json.dumps(doc, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {out_path}")
+    for name, entry in doc["metrics"].items():
+        print(f"  {name:24s} {entry['value']:12.2f} {entry['unit']}")
+
+    if args.update_baseline:
+        base_path = out_dir / "BENCH_baseline.json"
+        base_path.write_text(
+            json.dumps(doc, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {base_path}")
+
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        base_problems = validate_bench(baseline)
+        if base_problems:
+            for problem in base_problems:
+                print(f"BASELINE INVALID: {problem}", file=sys.stderr)
+            return 2
+        failures = check_regression(doc, baseline, args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"regression gate passed (limit {args.max_regression:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,11 +9,13 @@ workflows against a simulated cloud:
     caribou run <app> [-n N] [--size large] [--regions r1,r2]
     caribou solve <app> [--regions ...]  # print the 24-hour plan set
     caribou carbon [--hours H]           # show the synthetic carbon traces
+    caribou report <file>                # render a run report / analyze a trace
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -32,7 +34,9 @@ from repro.experiments.harness import (
     warm_up,
 )
 from repro.metrics.carbon import TransmissionScenario
-from repro.obs.render import render_trace_summary
+from repro.obs.critical_path import analyze_trace, render_critical_path
+from repro.obs.render import load_jsonl, render_trace_summary
+from repro.obs.report import RunReport, build_run_report
 from repro.obs.trace import Tracer
 
 
@@ -91,7 +95,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.chaos:
         home = args.coarse if args.coarse else HOME_REGION
         fault_plan = _default_chaos_plan(regions, home)
-    tracer = Tracer() if args.trace else None
+    # --report needs a trace for its critical-path section; tracing is
+    # pure observation, so enabling it never changes the run itself.
+    tracer = Tracer() if (args.trace or args.report) else None
     if args.coarse:
         outcome = run_coarse(
             app, args.size, args.coarse, seed=args.seed,
@@ -121,10 +127,53 @@ def cmd_run(args: argparse.Namespace) -> int:
         args.chaos or outcome.reliability.total_injected
     ):
         print(f"  reliability       : {outcome.reliability.summary()}")
-    if tracer is not None:
+    if tracer is not None and args.trace:
         tracer.export(args.trace)
         print(f"  trace             : {len(tracer)} spans -> {args.trace}")
         print(render_trace_summary(tracer))
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            json.dump(outcome.metrics or {}, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        n = len(outcome.metrics or {})
+        print(f"  metrics           : {n} instruments -> {args.metrics}")
+    if args.report:
+        report = build_run_report(outcome, trace=tracer)
+        report.export(args.report)
+        print(f"  report            : -> {args.report}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a saved run report (JSON) or analyze a trace (JSONL)."""
+    if args.file.endswith(".jsonl"):
+        spans = load_jsonl(args.file)
+        analysis = analyze_trace(spans)
+        print(
+            f"{analysis.n_requests} requests, "
+            f"total critical-path time {analysis.total_latency_s():.3f}s"
+        )
+        for kind, entry in analysis.by_kind().items():
+            print(
+                f"  {kind:12s} {entry['seconds']:10.3f}s "
+                f"{entry['share']:6.1%}"
+            )
+        gates = analysis.sync_gates()
+        for node, entry in gates.items():
+            gated = ", ".join(
+                f"{edge} x{count}" for edge, count in entry["gated_by"].items()
+            )
+            print(
+                f"  sync {node}: {entry['n']} joins, gated by {gated}, "
+                f"mean straggle {entry['mean_straggle_s']:.4f}s"
+            )
+        if args.requests:
+            for path in analysis.requests:
+                print(render_critical_path(path))
+        return 0
+    with open(args.file, "r", encoding="utf-8") as fh:
+        report = RunReport.from_json(fh.read())
+    print(report.to_markdown(), end="")
     return 0
 
 
@@ -195,6 +244,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--trace", metavar="FILE", default=None,
                        help="record a structured span trace of the run and "
                             "write it to FILE as JSON Lines")
+    p_run.add_argument("--metrics", metavar="FILE", default=None,
+                       help="dump the run's MetricsRegistry snapshot to "
+                            "FILE as JSON")
+    p_run.add_argument("--report", metavar="FILE", default=None,
+                       help="write the unified run report (critical path, "
+                            "per-region carbon/cost, metrics, reliability) "
+                            "to FILE as JSON; render it with `caribou "
+                            "report FILE`")
     p_run.add_argument("--seed", type=int, default=0)
     p_run.set_defaults(func=cmd_run)
 
@@ -205,6 +262,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--worst-case", action="store_true")
     p_solve.add_argument("--seed", type=int, default=0)
     p_solve.set_defaults(func=cmd_solve)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a saved run report (.json) or analyze a trace (.jsonl)",
+    )
+    p_report.add_argument("file", help="run-report JSON or trace JSONL path")
+    p_report.add_argument("--requests", action="store_true",
+                          help="also print each request's critical path "
+                               "(trace input only)")
+    p_report.set_defaults(func=cmd_report)
 
     p_carbon = sub.add_parser("carbon", help="show synthetic carbon traces")
     p_carbon.add_argument("--hours", type=int, default=24)

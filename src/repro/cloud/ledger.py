@@ -11,7 +11,7 @@ data-processing (Fig. 4, orange vs yellow).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 
@@ -101,6 +101,33 @@ class KvAccessRecord:
     request_id: str = ""
 
 
+@dataclass
+class RegionUsage:
+    """Everything one region did during a run, grouped for pricing.
+
+    Transmissions are attributed to their *source* region (egress is
+    billed and powered where the bytes leave).  Raw record lists are
+    kept so callers can price them under any transmission scenario.
+    """
+
+    executions: List[ExecutionRecord] = field(default_factory=list)
+    transmissions: List[TransmissionRecord] = field(default_factory=list)
+    messages: List[MessagingRecord] = field(default_factory=list)
+    kv_accesses: List[KvAccessRecord] = field(default_factory=list)
+
+    @property
+    def n_executions(self) -> int:
+        return len(self.executions)
+
+    @property
+    def exec_seconds(self) -> float:
+        return sum(r.duration_s for r in self.executions)
+
+    @property
+    def bytes_out(self) -> float:
+        return sum(r.size_bytes for r in self.transmissions)
+
+
 class MeteringLedger:
     """Append-only store of telemetry records with simple querying."""
 
@@ -171,6 +198,37 @@ class MeteringLedger:
             if r.workflow == workflow and r.request_id not in seen:
                 seen[r.request_id] = None
         return list(seen)
+
+    def usage_by_region(
+        self, workflow: Optional[str] = None
+    ) -> Dict[str, RegionUsage]:
+        """Group every record by the region that performed it.
+
+        The result covers the *whole* ledger window (warm-up, framework
+        traffic, and measured requests alike) — it answers "what did
+        each region do", not "what did one invocation cost".  Keys are
+        sorted for deterministic serialisation.
+        """
+        usage: Dict[str, RegionUsage] = {}
+
+        def bucket(region: str) -> RegionUsage:
+            if region not in usage:
+                usage[region] = RegionUsage()
+            return usage[region]
+
+        for rec in self.executions:
+            if workflow is None or rec.workflow == workflow:
+                bucket(rec.region).executions.append(rec)
+        for trans in self.transmissions:
+            if workflow is None or trans.workflow == workflow:
+                bucket(trans.src_region).transmissions.append(trans)
+        for msg in self.messages:
+            if workflow is None or msg.workflow == workflow:
+                bucket(msg.region).messages.append(msg)
+        for access in self.kv_accesses:
+            if workflow is None or access.workflow == workflow:
+                bucket(access.region).kv_accesses.append(access)
+        return {region: usage[region] for region in sorted(usage)}
 
     def service_time(self, workflow: str, request_id: str) -> float:
         """End-to-end service time of one invocation (§9.1 definition):

@@ -21,6 +21,7 @@ from typing import Callable, List, Optional
 
 from repro.common.clock import VirtualClock
 from repro.common.rng import RngRegistry
+from repro.obs.profile import profiled_phase
 
 
 @dataclass(order=True)
@@ -122,18 +123,21 @@ class SimulationEnvironment:
             The number of events executed by this call.
         """
         executed = 0
-        while True:
-            if max_events is not None and executed >= max_events:
-                break
-            next_time = self.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                break
-            self.step()
-            executed += 1
-        if until is not None and self.now() < until:
-            self.clock.advance_to(until)
+        # One phase per run() call, not per event — the per-event cost of
+        # a timer would dwarf many event actions and skew the numbers.
+        with profiled_phase("sim.run"):
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+            if until is not None and self.now() < until:
+                self.clock.advance_to(until)
         return executed
 
     def run_until_idle(self, max_events: int = 10_000_000) -> int:

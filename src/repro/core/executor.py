@@ -183,6 +183,10 @@ class CaribouExecutor:
         self._faults = getattr(deployed.cloud, "faults", None)
         # request id -> "pending" | "completed" | "failed" | "timed_out"
         self._requests: Dict[str, str] = {}
+        # Ordered edge-annotation arrivals per request: (edge, value, t).
+        # Pure bookkeeping for trace analysis, so only kept while a real
+        # tracer is attached — untraced runs allocate nothing here.
+        self._join_arrivals: Dict[str, List[Tuple[str, int, float]]] = {}
         self._watchdogs: Dict[str, EventHandle] = {}
         self._completed = 0
         self._failed = 0
@@ -650,7 +654,46 @@ class CaribouExecutor:
             workflow=self._d.name,
             request_id=rid,
         )
+        if self._tracer.enabled:
+            self._record_join(rid, marks, to_invoke)
         return to_invoke
+
+    def _record_join(
+        self, rid: str, marks: Dict[str, int], to_invoke: List[str]
+    ) -> None:
+        """Trace-side record of the join protocol: remember annotation
+        arrival order and emit one ``sync_gate`` span per sync node whose
+        invocation condition this annotation completed.  The gate edge is
+        the explicit mark of the completing call (deadness-propagated
+        edges carry no timed arrival of their own); ``arrivals`` maps
+        each directly-annotated in-edge to its annotation time."""
+        now = self._cloud.now()
+        arrivals = self._join_arrivals.setdefault(rid, [])
+        for edge, value in marks.items():
+            arrivals.append((edge, value, now))
+        if not to_invoke:
+            return
+        gate = next(iter(marks))
+        for sync_node in to_invoke:
+            in_edges = {
+                f"{e.src}->{e.dst}" for e in self._dag.in_edges(sync_node)
+            }
+            arrived = {e: t for e, _v, t in arrivals if e in in_edges}
+            self._tracer.record(
+                "sync_gate",
+                sync_node,
+                workflow=self._d.name,
+                request_id=rid,
+                sync_node=sync_node,
+                gate=gate,
+                arrivals=arrived,
+            )
+
+    def join_order(self, rid: str) -> Tuple[Tuple[str, int, float], ...]:
+        """Edge annotations of one request in arrival order, as
+        ``(edge, value, time)`` triples.  Populated only while a tracer
+        is attached (the data exists for trace verification)."""
+        return tuple(self._join_arrivals.get(rid, ()))
 
     def _invoke_sync_node(
         self, sync_node: str, src_region: str, rid: str, body: Dict

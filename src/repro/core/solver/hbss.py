@@ -34,6 +34,7 @@ from repro.core.solver.evaluation import PlanEvaluator
 from repro.metrics.montecarlo import WorkflowEstimate
 from repro.model.plan import DeploymentPlan, HourlyPlanSet
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.profile import profiled_phase
 from repro.obs.trace import NULL_TRACER, Tracer
 
 
@@ -100,7 +101,8 @@ class HBSSSolver:
     def solve_hour(self, hour: int) -> SolveResult:
         """Find the best deployment plan for one hour of the day."""
         with self._tracer.span("solver_hour", f"hour={hour}", hour=hour) as scope:
-            result = self._solve_hour(hour)
+            with profiled_phase("solver.solve_hour"):
+                result = self._solve_hour(hour)
             scope.set(
                 iterations=result.iterations,
                 accepted=result.accepted,
@@ -194,7 +196,7 @@ class HBSSSolver:
             raise ValueError("need at least one hour to solve for")
         with self._tracer.span(
             "solve", f"hours={len(hour_list)}", n_hours=len(hour_list)
-        ) as scope:
+        ) as scope, profiled_phase("solver.solve_day"):
             results = [self.solve_hour(h) for h in hour_list]
             scope.set(
                 iterations=sum(r.iterations for r in results),

@@ -95,6 +95,15 @@ class RunOutcome:
     #: Flat ``cloud.metrics.snapshot()`` of the run's operational
     #: counters/histograms (always present for harness-driven runs).
     metrics: Optional[Dict[str, Any]] = None
+    #: Ledger-derived per-region carbon/cost/usage, per transmission
+    #: scenario: ``{scenario: {region: {carbon_g, cost_usd, ...}}}``.
+    #: Covers the whole run window (warm-up and framework traffic
+    #: included), unlike the per-invocation ``per_scenario`` means.
+    per_region: Optional[Dict[str, Dict[str, Dict[str, float]]]] = None
+    #: Cumulative simulation events executed by the run's environment —
+    #: deterministic (virtual-clock event count), used by the benchmark
+    #: harness as the executor-throughput denominator.
+    events_executed: Optional[int] = None
 
     def carbon(self, scenario: str) -> float:
         return self.per_scenario[scenario].mean_carbon_g
@@ -250,6 +259,8 @@ def _run_measurement(
             continue
 
     per_scenario: Dict[str, ScenarioStats] = {}
+    per_region: Dict[str, Dict[str, Dict[str, float]]] = {}
+    region_usage = ledger.usage_by_region(deployed.name)
     for scenario in scenarios:
         accountant = CarbonAccountant(
             cloud.carbon_source,
@@ -269,6 +280,23 @@ def _run_measurement(
             mean_trans_carbon_g=float(np.mean(trans)),
             mean_cost_usd=float(np.mean(costs)),
         )
+        per_region[scenario.name] = {}
+        for region, usage in region_usage.items():
+            fp = accountant.price(
+                executions=usage.executions,
+                transmissions=usage.transmissions,
+                messages=usage.messages,
+                kv_accesses=usage.kv_accesses,
+            )
+            per_region[scenario.name][region] = {
+                "bytes_out": usage.bytes_out,
+                "carbon_g": fp.carbon_g,
+                "cost_usd": fp.cost_usd,
+                "exec_carbon_g": fp.exec_carbon_g,
+                "exec_seconds": usage.exec_seconds,
+                "n_executions": usage.n_executions,
+                "trans_carbon_g": fp.trans_carbon_g,
+            }
 
     regions_used = tuple(
         sorted({r.region for r in ledger.executions if r.request_id in set(rids)})
@@ -294,6 +322,8 @@ def _run_measurement(
         solver_stats=solver_stats,
         reliability=reliability,
         metrics=metrics_snapshot,
+        per_region=per_region,
+        events_executed=cloud.env.events_executed,
     )
 
 

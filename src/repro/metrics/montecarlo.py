@@ -62,6 +62,7 @@ from repro.metrics.distributions import EmpiricalDistribution
 from repro.metrics.latency import TransferLatencyModel
 from repro.model.dag import WorkflowDAG
 from repro.model.plan import DeploymentPlan
+from repro.obs.profile import profiled_phase
 
 BATCH_SIZE = 200
 MAX_SAMPLES = 2000
@@ -362,19 +363,20 @@ class MonteCarloEstimator:
 
         batches: List[_BatchAccumulators] = []
         n_total = 0
-        while n_total < self._max:
-            draws = self._draw_batch(plan, self._batch)
-            acc = self._make_accumulators(plan, draws.n)
-            if self._vectorized:
-                self._simulate_batch(plan, draws, acc)
-            else:
-                self._simulate_batch_reference(plan, draws, acc)
-            batches.append(acc)
-            n_total += draws.n
-            latencies = np.concatenate([b.latency for b in batches])
-            costs = np.concatenate([b.cost for b in batches])
-            if self._converged(latencies, costs):
-                break
+        with profiled_phase("mc.estimate_profile"):
+            while n_total < self._max:
+                draws = self._draw_batch(plan, self._batch)
+                acc = self._make_accumulators(plan, draws.n)
+                if self._vectorized:
+                    self._simulate_batch(plan, draws, acc)
+                else:
+                    self._simulate_batch_reference(plan, draws, acc)
+                batches.append(acc)
+                n_total += draws.n
+                latencies = np.concatenate([b.latency for b in batches])
+                costs = np.concatenate([b.cost for b in batches])
+                if self._converged(latencies, costs):
+                    break
 
         if self._stats is not None:
             self._stats.simulations_run += 1

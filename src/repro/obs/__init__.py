@@ -20,6 +20,14 @@ disabled is byte-identical (ledger and all) to one built before this
 package existed.
 """
 
+from repro.obs.critical_path import (
+    RequestPath,
+    SyncGateReport,
+    TraceAnalysis,
+    analyze_trace,
+    compute_critical_path,
+    render_critical_path,
+)
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -27,10 +35,23 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    get_profiler,
+    profiled_phase,
+    set_profiler,
+)
 from repro.obs.render import (
     load_jsonl,
     render_span_tree,
     render_trace_summary,
+)
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    RunReport,
+    build_run_report,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -46,12 +67,27 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_METRICS",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "NullProfiler",
     "NullTracer",
+    "Profiler",
+    "REPORT_SCHEMA",
+    "RequestPath",
+    "RunReport",
     "SPAN_KINDS",
     "Span",
+    "SyncGateReport",
+    "TraceAnalysis",
     "Tracer",
+    "analyze_trace",
+    "build_run_report",
+    "compute_critical_path",
+    "get_profiler",
     "load_jsonl",
+    "profiled_phase",
+    "render_critical_path",
     "render_span_tree",
     "render_trace_summary",
+    "set_profiler",
 ]

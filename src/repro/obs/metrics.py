@@ -99,17 +99,37 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile from bucket bounds (upper-bound biased)."""
+        """Approximate quantile, linearly interpolated within the bucket.
+
+        The winning bucket is the first whose cumulative count reaches
+        ``q * count``; the estimate interpolates between that bucket's
+        lower and upper bound by the fraction of the target rank inside
+        it (the classic Prometheus ``histogram_quantile`` rule).  The
+        first bucket's lower bound and the overflow bucket's upper
+        bound are the observed ``min``/``max``, and results are clamped
+        to ``[min, max]`` so a coarse bucket can never report a value
+        outside the observed range.  ``q=0`` is exactly ``min`` and
+        ``q=1`` exactly ``max``; an empty histogram reports 0.0.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         target = q * self.count
         seen = 0
         for i, n in enumerate(self.bucket_counts):
+            prev_seen = seen
             seen += n
             if seen >= target and n:
-                return self.bounds[i] if i < len(self.bounds) else self.max
+                lo = self.min if i == 0 else self.bounds[i - 1]
+                hi = self.max if i >= len(self.bounds) else self.bounds[i]
+                frac = (target - prev_seen) / n
+                value = lo + (hi - lo) * frac
+                return min(max(value, self.min), self.max)
         return self.max
 
 

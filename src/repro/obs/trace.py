@@ -44,6 +44,7 @@ SPAN_KINDS = (
     "publish",  # pub/sub publish-to-delivery-handoff window
     "kv",  # one key-value store operation
     "transfer",  # one network transfer
+    "sync_gate",  # a sync-node invocation condition completing (Eq. 4.1)
     "solve",  # one solver run over a set of hours
     "solver_hour",  # one per-hour HBSS search
     "solver_iteration",  # one HBSS candidate evaluation

@@ -1,0 +1,235 @@
+"""Benchmark-harness tests: profiler semantics, BENCH schema, and the
+regression gate.
+
+The actual workloads in ``scripts/bench.py`` are exercised end-to-end
+by CI's perf-smoke job; here we pin the parts that must not drift —
+the document schema, the gate arithmetic, and the phase profiler the
+hot paths report into.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs.profile import (
+    NULL_PROFILER,
+    Profiler,
+    get_profiler,
+    profiled_phase,
+    set_profiler,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench", REPO_ROOT / "scripts" / "bench.py"
+)
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+
+@pytest.fixture(autouse=True)
+def _restore_profiler():
+    """Never leak an installed profiler into other tests."""
+    previous = get_profiler()
+    yield
+    set_profiler(previous)
+
+
+# ------------------------------------------------------------------- profiler
+class TestProfiler:
+    def test_default_is_noop(self):
+        assert get_profiler() is NULL_PROFILER
+        assert not NULL_PROFILER.enabled
+        with profiled_phase("anything"):
+            pass
+        assert NULL_PROFILER.snapshot() == {}
+        assert NULL_PROFILER.total_s("anything") == 0.0
+
+    def test_accumulates_calls_and_time(self):
+        profiler = Profiler()
+        set_profiler(profiler)
+        for _ in range(3):
+            with profiled_phase("work"):
+                time.sleep(0.001)
+        snap = profiler.snapshot()
+        assert snap["work"]["calls"] == 3
+        assert snap["work"]["total_s"] >= 0.003
+        assert snap["work"]["self_s"] == pytest.approx(
+            snap["work"]["total_s"]
+        )
+
+    def test_nested_phases_subtract_child_time(self):
+        profiler = Profiler()
+        set_profiler(profiler)
+        with profiled_phase("outer"):
+            time.sleep(0.001)
+            with profiled_phase("inner"):
+                time.sleep(0.002)
+        snap = profiler.snapshot()
+        assert snap["outer"]["total_s"] >= snap["inner"]["total_s"]
+        assert snap["outer"]["self_s"] == pytest.approx(
+            snap["outer"]["total_s"] - snap["inner"]["total_s"], abs=1e-4
+        )
+
+    def test_set_profiler_returns_previous_and_none_restores(self):
+        profiler = Profiler()
+        previous = set_profiler(profiler)
+        assert get_profiler() is profiler
+        set_profiler(None)
+        assert get_profiler() is NULL_PROFILER
+        set_profiler(previous)
+
+    def test_reset_and_summary(self):
+        profiler = Profiler()
+        set_profiler(profiler)
+        with profiled_phase("p"):
+            pass
+        assert "p" in profiler.summary()
+        profiler.reset()
+        assert profiler.snapshot() == {}
+        assert NULL_PROFILER.summary() == "(profiling disabled)"
+
+    def test_exception_still_recorded(self):
+        profiler = Profiler()
+        set_profiler(profiler)
+        with pytest.raises(RuntimeError):
+            with profiled_phase("boom"):
+                raise RuntimeError("x")
+        assert profiler.snapshot()["boom"]["calls"] == 1
+
+    def test_hot_paths_report_phases(self):
+        """The wired-up hot paths actually hit the profiler."""
+        from repro.apps import get_app
+        from repro.experiments.harness import run_coarse
+
+        profiler = Profiler()
+        set_profiler(profiler)
+        run_coarse(
+            get_app("text2speech_censoring"), "small", "us-east-1",
+            seed=0, n_invocations=2,
+        )
+        assert profiler.total_s("sim.run") > 0.0
+
+
+# ------------------------------------------------------------------- schema
+def _valid_doc() -> dict:
+    metrics = {
+        name: {"unit": "x/s", "value": 100.0}
+        for name in bench.THROUGHPUT_METRICS
+    }
+    metrics["tracer_overhead_pct"] = {"unit": "%", "value": 1.5}
+    return {
+        "app": "text2speech_censoring",
+        "label": "test",
+        "metrics": metrics,
+        "phases": {"solver.solve_hour": {"calls": 2, "self_s": 0.1,
+                                         "total_s": 0.2}},
+        "schema": bench.BENCH_SCHEMA,
+        "smoke": True,
+    }
+
+
+class TestBenchSchema:
+    def test_valid_document_passes(self):
+        assert bench.validate_bench(_valid_doc()) == []
+
+    def test_committed_baseline_is_valid(self):
+        baseline = json.loads(
+            (REPO_ROOT / "BENCH_baseline.json").read_text()
+        )
+        assert bench.validate_bench(baseline) == []
+        assert baseline["smoke"] is True
+
+    @pytest.mark.parametrize(
+        "mutate, fragment",
+        [
+            (lambda d: d.update(schema="nope"), "schema"),
+            (lambda d: d.update(label=""), "label"),
+            (lambda d: d.update(smoke="yes"), "smoke"),
+            (lambda d: d["metrics"].pop("mc_samples_per_s"), "mc_samples"),
+            (
+                lambda d: d["metrics"]["solver_solves_per_s"].update(value=0),
+                "positive",
+            ),
+            (
+                lambda d: d["metrics"]["tracer_overhead_pct"].update(
+                    value="fast"
+                ),
+                "number",
+            ),
+            (lambda d: d.update(phases=[]), "phases"),
+            (
+                lambda d: d["phases"]["solver.solve_hour"].pop("calls"),
+                "calls",
+            ),
+        ],
+    )
+    def test_invalid_documents_flagged(self, mutate, fragment):
+        doc = copy.deepcopy(_valid_doc())
+        mutate(doc)
+        problems = bench.validate_bench(doc)
+        assert problems, f"expected problems after {fragment}"
+        assert any(fragment in p for p in problems)
+
+
+# ------------------------------------------------------------------- gate
+class TestRegressionGate:
+    def test_no_failures_when_equal(self):
+        doc = _valid_doc()
+        assert bench.check_regression(doc, doc, 2.0) == []
+
+    def test_faster_than_baseline_passes(self):
+        current = _valid_doc()
+        for name in bench.THROUGHPUT_METRICS:
+            current["metrics"][name]["value"] = 500.0
+        assert bench.check_regression(current, _valid_doc(), 2.0) == []
+
+    def test_over_2x_slower_fails(self):
+        current = copy.deepcopy(_valid_doc())
+        current["metrics"]["executor_events_per_s"]["value"] = 40.0
+        failures = bench.check_regression(current, _valid_doc(), 2.0)
+        assert len(failures) == 1
+        assert "executor_events_per_s" in failures[0]
+
+    def test_exactly_at_limit_passes(self):
+        current = copy.deepcopy(_valid_doc())
+        current["metrics"]["mc_samples_per_s"]["value"] = 50.0
+        assert bench.check_regression(current, _valid_doc(), 2.0) == []
+
+    def test_overhead_metric_not_gated(self):
+        current = copy.deepcopy(_valid_doc())
+        current["metrics"]["tracer_overhead_pct"]["value"] = 500.0
+        assert bench.check_regression(current, _valid_doc(), 2.0) == []
+
+    def test_missing_metric_skipped(self):
+        current = copy.deepcopy(_valid_doc())
+        del current["metrics"]["solver_solves_per_s"]
+        assert bench.check_regression(current, _valid_doc(), 2.0) == []
+
+
+# ------------------------------------------------------------------- CLI
+@pytest.mark.slow
+def test_bench_cli_smoke(tmp_path):
+    """Full harness run: emits a valid document and passes its own gate."""
+    result = subprocess.run(
+        [
+            sys.executable, str(REPO_ROOT / "scripts" / "bench.py"),
+            "--smoke", "--label", "citest", "--out-dir", str(tmp_path),
+        ],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    doc = json.loads((tmp_path / "BENCH_citest.json").read_text())
+    assert bench.validate_bench(doc) == []
+    assert doc["metrics"]["executor_events_per_s"]["value"] > 0
+    assert "mc.estimate_profile" in doc["phases"]
+    assert "solver.solve_hour" in doc["phases"]

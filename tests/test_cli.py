@@ -1,8 +1,11 @@
 """Tests for the CLI (deployment utility command line, §6.1/§8)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.report import REPORT_SCHEMA
 
 
 class TestParser:
@@ -69,3 +72,65 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "us-east-1" in out
         assert len(out.strip().splitlines()) == 4  # header + 3 hours
+
+
+class TestObservabilityFlags:
+    def test_run_metrics_dump(self, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.json"
+        assert main(["run", "dna_visualization", "-n", "3",
+                     "--coarse", "us-east-1",
+                     "--metrics", str(metrics_file)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics" in out
+        snap = json.loads(metrics_file.read_text())
+        assert snap  # harness-driven runs always record instruments
+        # Flat registry snapshot: counters/gauges are numbers,
+        # histograms are {count, sum, mean, min, max} objects.
+        assert any(k.startswith("faas.") for k in snap)
+        for value in snap.values():
+            assert isinstance(value, (int, float, dict))
+        # Canonical serialisation: keys arrive sorted.
+        assert list(snap) == sorted(snap)
+
+    def test_run_report_writes_valid_document(self, tmp_path, capsys):
+        report_file = tmp_path / "report.json"
+        assert main(["run", "text2speech_censoring", "-n", "3",
+                     "--regions", "us-east-1,ca-central-1",
+                     "--report", str(report_file)]) == 0
+        doc = json.loads(report_file.read_text())
+        assert doc["schema"] == REPORT_SCHEMA
+        assert doc["run"]["app"] == "text2speech_censoring"
+        assert doc["run"]["n_invocations"] == 3
+        # --report implies tracing, so the critical-path section exists.
+        assert doc["critical_path"]["n_requests"] > 0
+        assert doc["per_region"]  # ledger-derived usage present
+
+    def test_report_renders_saved_report(self, tmp_path, capsys):
+        report_file = tmp_path / "report.json"
+        main(["run", "text2speech_censoring", "-n", "2",
+              "--regions", "us-east-1,ca-central-1",
+              "--report", str(report_file)])
+        capsys.readouterr()
+        assert main(["report", str(report_file)]) == 0
+        out = capsys.readouterr().out
+        assert "# Run report" in out
+        assert "## Critical path" in out
+        assert "## Carbon & cost" in out
+
+    def test_report_analyzes_trace_jsonl(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.jsonl"
+        main(["run", "text2speech_censoring", "-n", "2",
+              "--regions", "us-east-1,ca-central-1",
+              "--trace", str(trace_file)])
+        capsys.readouterr()
+        assert main(["report", str(trace_file), "--requests"]) == 0
+        out = capsys.readouterr().out
+        assert "requests, total critical-path time" in out
+        assert "invocation" in out
+        assert "end-to-end" in out  # per-request path renderings
+
+    def test_report_rejects_non_report_json(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "something/else"}')
+        with pytest.raises(ValueError, match="not a run report"):
+            main(["report", str(bogus)])

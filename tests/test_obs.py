@@ -236,6 +236,80 @@ class TestMetricsRegistry:
         assert "faas" not in text
 
 
+class TestHistogramQuantile:
+    """Quantiles interpolate within the winning bucket and respect the
+    observed min/max (the old implementation returned raw bucket upper
+    bounds, biasing every estimate high)."""
+
+    def _hist(self, values, bounds=(1.0, 2.0, 4.0, 8.0)):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("t", bounds=bounds)
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_empty_histogram_is_zero(self):
+        h = self._hist([])
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 0.0
+
+    def test_q0_is_min_and_q1_is_max(self):
+        h = self._hist([0.5, 3.0, 7.0])
+        assert h.quantile(0.0) == 0.5
+        assert h.quantile(1.0) == 7.0
+
+    def test_single_value_every_quantile(self):
+        h = self._hist([3.0])
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert h.quantile(q) == 3.0
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations, all in the (2, 4] bucket: the median rank
+        # lands halfway through the bucket, so the estimate must lie
+        # strictly inside (2, 4), not snap to the upper bound 4.0.
+        h = self._hist([2.5] * 10)
+        mid = h.quantile(0.5)
+        assert 2.0 < mid < 4.0
+        assert mid != 4.0  # the old upper-bound-biased answer
+
+    def test_clamped_to_observed_range(self):
+        h = self._hist([2.5, 2.6, 2.7])
+        for q in (0.1, 0.5, 0.99):
+            assert 2.5 <= h.quantile(q) <= 2.7
+
+    def test_first_bucket_uses_min_as_lower_bound(self):
+        # All mass in the first bucket; without the min clamp the lower
+        # edge would be undefined (there is no bounds[-1]).
+        h = self._hist([0.2, 0.4, 0.8])
+        q = h.quantile(0.5)
+        assert 0.2 <= q <= 0.8
+
+    def test_overflow_bucket_uses_max_as_upper_bound(self):
+        h = self._hist([9.0, 20.0, 100.0])  # all beyond the last bound 8.0
+        q = h.quantile(0.9)
+        assert 8.0 <= q <= 100.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_monotone_in_q(self):
+        h = self._hist([0.3, 0.9, 1.5, 2.2, 3.3, 5.0, 9.0, 12.0])
+        qs = [h.quantile(q) for q in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_uniform_spread_median_near_true_median(self):
+        values = [0.1 * i for i in range(1, 41)]  # 0.1 .. 4.0
+        h = self._hist(values)
+        assert h.quantile(0.5) == pytest.approx(2.0, abs=1.0)
+
+    def test_rejects_out_of_range_q(self):
+        h = self._hist([1.0])
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(-0.1)
+
+
 class TestRenderers:
     def _sample_spans(self):
         return [

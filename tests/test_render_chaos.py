@@ -1,0 +1,149 @@
+"""Renderer behaviour on deep chaos-run traces.
+
+A chaos run (network partition + region outage + invocation failures)
+produces the nastiest traces the repo can generate: retries, dead
+requests, home-region fallbacks, and error-annotated spans.  The
+renderers of :mod:`repro.obs.render` must stay deterministic (same run,
+same text — the CLI diff-tests depend on it) and truncation-safe (a
+``max_spans`` cut never raises, never emits a partial line, and always
+marks the cut).
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.apps import get_app
+from repro.cloud.faults import FaultPlan
+from repro.common.clock import SECONDS_PER_DAY
+from repro.experiments.harness import run_caribou
+from repro.obs.render import (
+    group_by_request,
+    iter_lines,
+    load_jsonl,
+    render_span_tree,
+    render_trace_summary,
+    requests_in,
+)
+from repro.obs.trace import Tracer
+
+REGIONS = ("us-east-1", "us-west-2", "ca-central-1")
+SEED = 29
+
+
+def _chaos_plan() -> FaultPlan:
+    return (
+        FaultPlan()
+        .with_invocation_failures(0.10)
+        .with_region_outage(
+            "us-west-2", start_s=0.1 * SECONDS_PER_DAY, end_s=0.6 * SECONDS_PER_DAY
+        )
+        .with_network_partition(
+            ("us-east-1",), ("ca-central-1",),
+            start_s=0.2 * SECONDS_PER_DAY, end_s=0.5 * SECONDS_PER_DAY,
+        )
+        .with_kv_latency(4.0, start_s=0.0, end_s=0.4 * SECONDS_PER_DAY)
+    )
+
+
+def _chaos_trace() -> Tracer:
+    tracer = Tracer()
+    run_caribou(
+        get_app("text2speech_censoring"),
+        "small",
+        REGIONS,
+        seed=SEED,
+        n_invocations=8,
+        fault_plan=_chaos_plan(),
+        tracer=tracer,
+    )
+    tracer.finalize()
+    return tracer
+
+
+@pytest.fixture(scope="module")
+def chaos_spans():
+    return list(_chaos_trace().spans)
+
+
+class TestChaosTraceShape:
+    def test_trace_is_deep_and_faulty(self, chaos_spans):
+        """Preconditions: the fixture really exercises the chaos paths."""
+        assert len(chaos_spans) > 200
+        kinds = {s.kind for s in chaos_spans}
+        assert {"request", "invocation", "publish", "kv"} <= kinds
+        statuses = {
+            str(s.attrs.get("status"))
+            for s in chaos_spans
+            if s.kind == "request"
+        }
+        # Fault injection must actually bite: some requests die, some
+        # survive — both shapes flow through the renderers below.
+        assert "completed" in statuses
+        assert "failed" in statuses
+
+    def test_every_request_renders(self, chaos_spans):
+        for rid in requests_in(chaos_spans):
+            text = render_span_tree(chaos_spans, request_id=rid)
+            assert text != "(no spans)"
+            assert text.startswith("request:")
+
+
+class TestDeterminism:
+    def test_rerun_renders_identically(self, chaos_spans):
+        """Same seed + same fault plan => byte-identical renderings."""
+        again = list(_chaos_trace().spans)
+        assert render_span_tree(again) == render_span_tree(chaos_spans)
+        assert render_trace_summary(again) == render_trace_summary(
+            chaos_spans
+        )
+
+    def test_jsonl_round_trip_renders_identically(self, chaos_spans):
+        text = "\n".join(iter_lines(chaos_spans))
+        reloaded = load_jsonl(io.StringIO(text))
+        assert render_span_tree(reloaded) == render_span_tree(chaos_spans)
+        assert render_trace_summary(reloaded) == render_trace_summary(
+            chaos_spans
+        )
+
+    def test_render_does_not_mutate_input(self, chaos_spans):
+        before = [(s.span_id, s.t0, s.t1, dict(s.attrs)) for s in chaos_spans]
+        render_span_tree(chaos_spans)
+        render_trace_summary(chaos_spans)
+        after = [(s.span_id, s.t0, s.t1, dict(s.attrs)) for s in chaos_spans]
+        assert before == after
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("max_spans", [1, 2, 7, 50, 199])
+    def test_truncation_is_safe_at_any_cut(self, chaos_spans, max_spans):
+        text = render_span_tree(chaos_spans, max_spans=max_spans)
+        lines = text.splitlines()
+        assert lines[-1] == f"... truncated at {max_spans} spans"
+        # Exactly max_spans rendered lines plus the truncation marker.
+        assert len(lines) == max_spans + 1
+        # No partial lines: every rendered span line carries a duration.
+        for line in lines[:-1]:
+            assert "s)" in line
+
+    def test_truncated_output_is_prefix_of_full(self, chaos_spans):
+        full = render_span_tree(chaos_spans, max_spans=10**9).splitlines()
+        cut = render_span_tree(chaos_spans, max_spans=25).splitlines()
+        assert cut[:-1] == full[:25]
+
+    def test_no_marker_when_under_limit(self, chaos_spans):
+        rid = requests_in(chaos_spans)[0]
+        text = render_span_tree(chaos_spans, request_id=rid, max_spans=10**9)
+        assert "truncated" not in text
+
+    def test_failed_requests_survive_rendering(self, chaos_spans):
+        text = render_span_tree(chaos_spans, max_spans=10**9)
+        assert "[failed]" in text
+        assert "[completed]" in text
+
+    def test_group_by_request_covers_all_requests(self, chaos_spans):
+        grouped = group_by_request(chaos_spans)
+        assert set(grouped) == set(requests_in(chaos_spans))
+        assert all(grouped.values())
