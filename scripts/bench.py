@@ -6,6 +6,9 @@ host time (virtual time is free — these numbers say how fast the
 *simulator* runs, not how fast the simulated cloud is):
 
 * ``solver_solves_per_s``   — HBSS ``solve_hour`` calls per second;
+* ``solver_parallel_solves_per_s`` — the same solve fanned over a
+  thread pool (``--jobs``), after asserting the parallel plan set is
+  *identical* to the serial reference (the determinism contract);
 * ``executor_events_per_s`` — simulation events per second through a
   full Caribou run (executor + pubsub + KV + network);
 * ``mc_samples_per_s``      — Monte-Carlo simulation samples per second
@@ -32,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -60,6 +64,7 @@ BENCH_SCHEMA = "caribou.bench/v1"
 THROUGHPUT_METRICS = (
     "executor_events_per_s",
     "mc_samples_per_s",
+    "solver_parallel_solves_per_s",
     "solver_solves_per_s",
 )
 
@@ -172,6 +177,44 @@ def bench_solver(smoke: bool) -> Dict[str, float]:
     }
 
 
+def _solved_workload(smoke: bool, jobs: int):
+    """Fresh same-seeded deployment, warmed up and solved with ``jobs``
+    workers; returns ``(plan_set, solve_wall_s, n_hours)``."""
+    cloud = SimulatedCloud(seed=7)
+    app = get_app(APP)
+    deployed, executor, _ = deploy_benchmark(app, cloud)
+    warm_up(executor, app, "small", n=6 if smoke else 12)
+    hours = list(range(2 if smoke else 8))
+    t0 = time.perf_counter()
+    plan_set = solve_plan_set(
+        deployed,
+        executor,
+        TransmissionScenario.best_case(),
+        hours=hours,
+        jobs=jobs,
+    )
+    return plan_set, time.perf_counter() - t0, len(hours)
+
+
+def bench_parallel_solver(smoke: bool, jobs: int) -> Dict[str, float]:
+    """Parallel solves/sec — and the determinism contract: the parallel
+    plan set must be *identical* to the serial reference on the same
+    seed.  A mismatch is a correctness bug, not a perf number, so it
+    aborts the bench."""
+    serial_ps, _, _ = _solved_workload(smoke, jobs=1)
+    parallel_ps, elapsed, n_hours = _solved_workload(smoke, jobs=jobs)
+    if parallel_ps.to_dict() != serial_ps.to_dict():
+        raise RuntimeError(
+            f"parallel plan set (jobs={jobs}) differs from the serial "
+            "reference on the same seed — determinism contract violated"
+        )
+    return {
+        "solver_parallel_solves_per_s": n_hours / max(elapsed, 1e-9),
+        "solver_parallel_jobs": float(jobs),
+        "solver_parallel_wall_s": elapsed,
+    }
+
+
 def _timed_run(n_invocations: int, tracer: Optional[Tracer]) -> Dict[str, float]:
     """One full Caribou run; returns wall seconds and events executed."""
     app = get_app(APP)
@@ -228,11 +271,12 @@ def bench_tracer_overhead(smoke: bool) -> Dict[str, float]:
     }
 
 
-def run_bench(label: str, smoke: bool) -> Dict[str, Any]:
+def run_bench(label: str, smoke: bool, jobs: int) -> Dict[str, Any]:
     """Run every workload and assemble the benchmark document."""
     units = {
         "executor_events_per_s": "events/s",
         "mc_samples_per_s": "samples/s",
+        "solver_parallel_solves_per_s": "solves/s",
         "solver_solves_per_s": "solves/s",
         "tracer_overhead_pct": "%",
     }
@@ -240,6 +284,7 @@ def run_bench(label: str, smoke: bool) -> Dict[str, Any]:
     solver = bench_solver(smoke)
     phases = solver.pop("phases")
     raw.update(solver)
+    raw.update(bench_parallel_solver(smoke, jobs))
     raw.update(bench_executor(smoke))
     raw.update(bench_tracer_overhead(smoke))
 
@@ -273,9 +318,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the result to BENCH_baseline.json")
     parser.add_argument("--out-dir", default=str(REPO_ROOT),
                         help="directory for BENCH_<label>.json")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker threads for the parallel-solver "
+                             "bench (default: min(4, CPUs), at least 2 "
+                             "so the threaded path is always exercised)")
     args = parser.parse_args(argv)
 
-    doc = run_bench(args.label, args.smoke)
+    jobs = args.jobs
+    if jobs is None:
+        jobs = max(2, min(4, os.cpu_count() or 1))
+    if jobs < 2:
+        print("--jobs must be >= 2 (the serial case is benched anyway)",
+              file=sys.stderr)
+        return 2
+
+    doc = run_bench(args.label, args.smoke, jobs)
     problems = validate_bench(doc)
     if problems:
         for problem in problems:

@@ -108,7 +108,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         outcome = run_caribou(
             app, args.size, regions, seed=args.seed,
             n_invocations=args.invocations, fault_plan=fault_plan,
-            tracer=tracer,
+            tracer=tracer, jobs=args.jobs,
         )
     print(f"{outcome.label}: {outcome.n_invocations} invocations")
     print(f"  mean service time : {outcome.mean_service_time_s:8.3f} s")
@@ -189,7 +189,9 @@ def cmd_solve(args: argparse.Namespace) -> int:
         else TransmissionScenario.best_case()
     )
     stats = SolverStats()
-    plan_set = solve_plan_set(deployed, executor, scenario, stats=stats)
+    plan_set = solve_plan_set(
+        deployed, executor, scenario, stats=stats, jobs=args.jobs
+    )
     print(f"24-hour plan set for {app.name} over {', '.join(regions)}:")
     last = None
     for hour in range(24):
@@ -253,6 +255,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "to FILE as JSON; render it with `caribou "
                             "report FILE`")
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--jobs", type=int, default=None,
+                       help="solver hour fan-out: worker threads for the "
+                            "24-hour solve (0 = one per CPU; default "
+                            "serial); the plan set is identical for any "
+                            "worker count")
     p_run.set_defaults(func=cmd_run)
 
     p_solve = sub.add_parser("solve", help="print the solved 24-hour plan set")
@@ -261,6 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--regions", default=None)
     p_solve.add_argument("--worst-case", action="store_true")
     p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--jobs", type=int, default=None,
+                         help="solver hour fan-out: worker threads for the "
+                              "24-hour solve (0 = one per CPU; default "
+                              "serial)")
     p_solve.set_defaults(func=cmd_solve)
 
     p_report = sub.add_parser(

@@ -17,10 +17,21 @@ from typing import Dict
 import numpy as np
 
 
-def _derive_seed(root_seed: int, name: str) -> int:
-    """Derive a stable 64-bit seed for ``name`` from ``root_seed``."""
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a stable 64-bit seed for ``name`` from ``root_seed``.
+
+    Public building block for *substream* derivation: components that
+    need order-independent randomness (e.g. the solver's per-hour walks
+    or the estimator's per-plan draws) hash a locally-drawn salt with a
+    stable key instead of consuming a shared sequential stream, so the
+    schedule in which substreams are used cannot perturb any of them.
+    """
     digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "little")
+
+
+#: Backwards-compatible alias (pre-existing internal name).
+_derive_seed = derive_seed
 
 
 class RngRegistry:

@@ -23,7 +23,13 @@ import numpy as np
 from repro.core.executor import CaribouExecutor, DeployedWorkflow
 from repro.core.deployer import DeploymentUtility
 from repro.core.migrator import DeploymentMigrator, MigrationReport
-from repro.core.solver import HBSSSolver, PlanEvaluator, SolverSettings
+from repro.core.solver import (
+    EvaluationCache,
+    HBSSSolver,
+    PlanEvaluator,
+    SolverSettings,
+    SolverStats,
+)
 from repro.core.trigger import TokenBucket, TriggerSettings
 from repro.common.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from repro.metrics.accounting import CarbonAccountant
@@ -41,7 +47,16 @@ DEFAULT_PLAN_LIFETIME_S = 3 * SECONDS_PER_DAY
 
 @dataclass
 class CheckReport:
-    """What one DM token check did (Fig. 6's decision trace)."""
+    """What one DM token check did (Fig. 6's decision trace).
+
+    ``solve_cost_g`` is the cost actually *charged* to the bucket this
+    check — zero when no token-funded solve happened, and the
+    granularity-1 price when the budget only covered a daily solve
+    (previously it always reported the 24-hour price regardless of what
+    was consumed).  ``solve_cost_quote_g`` is the full 24-hour quote at
+    the current framework intensity — the deficit reference the cadence
+    rule compares the bucket against.
+    """
 
     time_s: float
     new_records: int
@@ -52,6 +67,7 @@ class CheckReport:
     granularity: Optional[int]
     migration: Optional[MigrationReport]
     next_check_delay_s: float
+    solve_cost_quote_g: float = 0.0
 
 
 class DeploymentManager:
@@ -109,10 +125,49 @@ class DeploymentManager:
         self._last_forecast_day: int = -1
         self.reports: List[CheckReport] = []
         self.plan_history: List[Tuple[float, HourlyPlanSet]] = []
+        #: Profile/estimate cache surviving across check() cycles;
+        #: make_evaluator() syncs it against the learned-input versions
+        #: so stale entries are dropped exactly when metrics/forecasts
+        #: actually changed (§5.2 checks often re-solve a barely-moved
+        #: problem — discarding the cache each time wasted most of the
+        #: previous solve's Monte-Carlo work).
+        self.evaluation_cache = EvaluationCache()
+        #: Cumulative solver counters across this manager's lifetime.
+        self.solver_stats = SolverStats()
+        # §5.2: a token is "the carbon intensity differential between
+        # target regions" — the cleanest *permitted* region, not the
+        # cleanest region in the provider.  Intersect per-node
+        # compliance so restricted workflows cannot earn against a
+        # region none of their functions may run in.
+        per_node = [
+            set(
+                deployed.config.permitted_regions_for_function(
+                    deployed.dag.node(node).function, self._cloud.regions
+                )
+            )
+            for node in deployed.dag.node_names
+        ]
+        earn_regions = set.intersection(*per_node) if per_node else set()
+        if not earn_regions:
+            # No region runs the whole workflow: fall back to regions
+            # that can host at least one node (partial offloading still
+            # saves carbon); the evaluator rejects truly empty domains.
+            earn_regions = set.union(*per_node) if per_node else set()
+        self._earn_regions: Tuple[str, ...] = (
+            tuple(sorted(earn_regions)) or tuple(self._cloud.regions)
+        )
 
     # -- components on demand -----------------------------------------------------
     def make_evaluator(self) -> PlanEvaluator:
-        """A fresh evaluator over the *current* learned metrics."""
+        """An evaluator over the *current* learned metrics, backed by
+        the persistent evaluation cache (invalidated here iff the
+        metrics or forecasts changed since the last solve)."""
+        self.evaluation_cache.sync(
+            self.metrics.version,
+            # Forecast refits only stale the cache when forecasts
+            # actually feed the intensity function.
+            self.metrics.forecasts.version if self._use_forecast else None,
+        )
         return PlanEvaluator(
             dag=self._d.dag,
             config=self._d.config,
@@ -127,6 +182,8 @@ class DeploymentManager:
             rng=self._rng,
             kv_region=self._d.kv_region,
             settings=self._solver_settings,
+            stats=self.solver_stats,
+            cache=self.evaluation_cache,
         )
 
     # -- the Fig. 6 loop ----------------------------------------------------------
@@ -158,9 +215,12 @@ class DeploymentManager:
         home_i = self._cloud.carbon_source.intensity_at(
             self._d.config.home_region, now
         )
+        # Cleanest *permitted* region (§5.2): earning against a region
+        # the workflow may not run in would overfill the bucket and
+        # trigger solves that cannot realise the promised differential.
         best_i = min(
             self._cloud.carbon_source.intensity_at(r, now)
-            for r in self._cloud.regions
+            for r in self._earn_regions
         )
         realized = self._realized_savings(period_start, now)
         self.bucket.earn(
@@ -177,12 +237,15 @@ class DeploymentManager:
         solved = False
         granularity: Optional[int] = None
         migration: Optional[MigrationReport] = None
+        charged_g = 0.0
         can_model = invocations > 0 or self.metrics.invocation_count > 0
         if can_model:
             if self._use_token_bucket:
                 granularity = self.bucket.affordable_granularity(framework_intensity)
                 if granularity is not None:
-                    self.bucket.consume(framework_intensity, granularity)
+                    charged_g = self.bucket.consume(
+                        framework_intensity, granularity
+                    )
                     migration = self._solve_and_migrate(granularity, now)
                     solved = True
             else:
@@ -199,11 +262,14 @@ class DeploymentManager:
             new_records=new_records,
             invocations_in_period=invocations,
             tokens_g=self.bucket.tokens_g,
-            solve_cost_g=self.bucket.solve_cost_g(framework_intensity, 24),
+            solve_cost_g=charged_g,
             solved=solved,
             granularity=granularity,
             migration=migration,
             next_check_delay_s=delay,
+            solve_cost_quote_g=self.bucket.solve_cost_g(
+                framework_intensity, 24
+            ),
         )
         self.reports.append(report)
         self._last_check_s = now
@@ -234,11 +300,17 @@ class DeploymentManager:
         self, granularity_hours: int, now: float
     ) -> MigrationReport:
         evaluator = self.make_evaluator()
+        # Per-hour registry substreams (``solver:{wf}:hour={h}``) keep
+        # each hour's walk reproducible whatever order — or thread —
+        # solves it in, and persistent across checks.
+        registry = self._cloud.env.rng
+        name = self._d.name
         solver = HBSSSolver(
             evaluator,
             self._rng,
             tracer=self._cloud.tracer,
             metrics=self._cloud.metrics,
+            rng_factory=lambda h: registry.get(f"solver:{name}:hour={h}"),
         )
         if granularity_hours >= 24:
             hours: Sequence[int] = range(24)
@@ -246,7 +318,8 @@ class DeploymentManager:
             current_hour = int(now // SECONDS_PER_HOUR) % 24
             step = 24 // granularity_hours
             hours = [(current_hour + i * step) % 24 for i in range(granularity_hours)]
-        plan_set, _results = solver.solve_day(hours)
+        warm_start = self.plan_history[-1][1] if self.plan_history else None
+        plan_set, _results = solver.solve_day(hours, warm_start=warm_start)
         plan_set.created_at_s = now
         plan_set.expires_at_s = now + self._plan_lifetime
         self.plan_history.append((now, plan_set))

@@ -13,11 +13,17 @@ both are provided as baselines for comparison and ablation:
 """
 
 from repro.core.solver.coarse import CoarseSolver
-from repro.core.solver.evaluation import PlanEvaluator, SolverSettings, SolverStats
+from repro.core.solver.evaluation import (
+    EvaluationCache,
+    PlanEvaluator,
+    SolverSettings,
+    SolverStats,
+)
 from repro.core.solver.exhaustive import ExhaustiveSolver
-from repro.core.solver.hbss import HBSSSolver, SolveResult
+from repro.core.solver.hbss import HBSSSolver, SolveResult, resolve_jobs
 
 __all__ = [
+    "EvaluationCache",
     "PlanEvaluator",
     "SolverSettings",
     "SolverStats",
@@ -25,4 +31,5 @@ __all__ = [
     "SolveResult",
     "CoarseSolver",
     "ExhaustiveSolver",
+    "resolve_jobs",
 ]

@@ -11,10 +11,12 @@ while shifting the rest (§5.1) — which is exactly what Fig. 7's
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence, Tuple
 
 from repro.common.errors import SolverError
 from repro.core.solver.evaluation import PlanEvaluator
+from repro.core.solver.hbss import resolve_jobs
 from repro.metrics.montecarlo import WorkflowEstimate
 from repro.model.plan import DeploymentPlan, HourlyPlanSet
 
@@ -24,18 +26,26 @@ class CoarseSolver:
 
     def __init__(self, evaluator: PlanEvaluator):
         self._ev = evaluator
+        self._candidates: Optional[Tuple[str, ...]] = None
 
     def candidate_regions(self) -> Tuple[str, ...]:
-        """Regions in which *every* node may legally run."""
-        ev = self._ev
-        candidates = []
-        for region in ev.regions:
-            if all(
-                region in ev.permitted_regions(node)
-                for node in ev.dag.node_names
-            ):
-                candidates.append(region)
-        return tuple(candidates)
+        """Regions in which *every* node may legally run.
+
+        Computed once per solver — compliance constraints are static,
+        so the per-node scan must not be repeated for each of the 24
+        hourly solves.
+        """
+        if self._candidates is None:
+            ev = self._ev
+            self._candidates = tuple(
+                region
+                for region in ev.regions
+                if all(
+                    region in ev.permitted_regions(node)
+                    for node in ev.dag.node_names
+                )
+            )
+        return self._candidates
 
     def solve_hour(
         self, hour: int, enforce_tolerances: bool = True
@@ -46,6 +56,15 @@ class CoarseSolver:
         all; falls back to the home region when every alternative
         violates the QoS tolerances.
         """
+        plan = self._best_plan_for_hour(hour, enforce_tolerances)
+        return plan, self._ev.estimate(plan, hour)
+
+    def _best_plan_for_hour(
+        self, hour: int, enforce_tolerances: bool
+    ) -> DeploymentPlan:
+        """The winning plan only — no estimate forced on the caller
+        (``solve_day`` discards per-hour estimates, and the winner's
+        mean metric was already computed while ranking)."""
         start_time = time.perf_counter()
         ev = self._ev
         regions = self.candidate_regions()
@@ -66,14 +85,39 @@ class CoarseSolver:
                 best_plan, best_metric = plan, metric
         if best_plan is None:
             best_plan = ev.home_plan()
-        ev.stats.wall_time_s += time.perf_counter() - start_time
-        return best_plan, ev.estimate(best_plan, hour)
+        ev.stats.bump(wall_time_s=time.perf_counter() - start_time)
+        return best_plan
 
     def solve_day(
-        self, hours: Optional[Sequence[int]] = None, enforce_tolerances: bool = True
+        self,
+        hours: Optional[Sequence[int]] = None,
+        enforce_tolerances: bool = True,
+        jobs: Optional[int] = None,
     ) -> HourlyPlanSet:
+        """Per-hour winners over the day, optionally fanned over a
+        thread pool (``jobs``; ``None`` defers to
+        ``settings.parallel_hours``).  Deterministic regardless of
+        worker count: the evaluator's per-plan RNG substreams make every
+        estimate order-independent."""
         hour_list = list(hours) if hours is not None else list(range(24))
-        plans = {
-            h: self.solve_hour(h, enforce_tolerances)[0] for h in hour_list
-        }
-        return HourlyPlanSet(plans)
+        if not hour_list:
+            raise ValueError("need at least one hour to solve for")
+        n_jobs = resolve_jobs(
+            jobs, self._ev.settings.parallel_hours, len(hour_list)
+        )
+        if n_jobs <= 1:
+            plans = [
+                self._best_plan_for_hour(h, enforce_tolerances)
+                for h in hour_list
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=n_jobs) as pool:
+                plans = list(
+                    pool.map(
+                        lambda h: self._best_plan_for_hour(
+                            h, enforce_tolerances
+                        ),
+                        hour_list,
+                    )
+                )
+        return HourlyPlanSet(dict(zip(hour_list, plans)))

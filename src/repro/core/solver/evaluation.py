@@ -11,7 +11,8 @@ developer's tolerance).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -40,6 +41,12 @@ class SolverSettings:
     ``alpha_per_node_region`` is the 6 in Alg. 1 line 2
     (``alpha = |N| x |R| x 6``); ``beta`` its bias, ``gamma`` the initial
     temperature with ``gamma_decay`` applied per accepted move.
+
+    ``parallel_hours`` is the worker-thread count ``solve_day`` uses to
+    fan its independent per-hour solves over (per-hour RNG substreams
+    make the result identical to the serial reference regardless of
+    scheduling — see :meth:`HBSSSolver.solve_day`).  ``1`` (default)
+    keeps the serial reference path; ``0`` means one worker per CPU.
     """
 
     batch_size: int = 100
@@ -49,6 +56,7 @@ class SolverSettings:
     beta: float = 0.2
     gamma: float = 1.0
     gamma_decay: float = 0.99
+    parallel_hours: int = 1
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0 or self.max_samples <= 0:
@@ -67,6 +75,11 @@ class SolverSettings:
             raise ValueError(
                 f"gamma_decay must be in (0, 1], got {self.gamma_decay}"
             )
+        if self.parallel_hours < 0:
+            raise ValueError(
+                f"parallel_hours must be >= 0 (0 = one worker per CPU), "
+                f"got {self.parallel_hours}"
+            )
 
 
 @dataclass
@@ -77,6 +90,16 @@ class SolverStats:
     instance) and threads it into the Monte-Carlo estimator; solvers
     accumulate wall time into it.  All counters are cumulative over the
     evaluator's lifetime, so a 24-hour ``solve_day`` reports totals.
+
+    Concurrent hour workers share one instance; use :meth:`bump` (a
+    lock-guarded multi-field add) instead of ``stats.field += n`` on any
+    path that can run inside a parallel ``solve_day``.  The count
+    *totals* are scheduling-invariant: per distinct plan exactly one
+    profile build happens (the evaluator's per-digest build locks
+    guarantee it) and every other lookup is a hit, so serial and
+    parallel solves report identical counters — only ``wall_time_s`` is
+    machine/scheduling dependent, and deterministic surfaces (run
+    reports) already exclude it.
 
     Attributes:
         simulations_run: Monte-Carlo profile runs actually simulated.
@@ -96,6 +119,15 @@ class SolverStats:
     estimates_computed: int = 0
     estimate_cache_hits: int = 0
     wall_time_s: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, **deltas: float) -> None:
+        """Atomically add ``deltas`` to the named counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
 
     def summary(self) -> str:
         """One-line human-readable digest for CLI/harness output."""
@@ -114,8 +146,78 @@ class SolverStats:
         )
 
 
+class EvaluationCache:
+    """Persistent, digest-keyed store of plan profiles and estimates.
+
+    A :class:`PlanEvaluator` is cheap, stateless glue over its inputs;
+    the *expensive* state — Monte-Carlo :class:`PlanProfile` runs and
+    per-``(plan, hour)`` estimates — lives here, keyed by
+    :meth:`DeploymentPlan.digest` so it survives evaluator
+    reconstruction (the Deployment Manager builds a fresh evaluator on
+    every token check, §5.2, but the workload's plan space barely moves
+    between checks).
+
+    Entries are only valid for one version of the learned inputs:
+    callers declare the current ``(metrics_version, forecast_version)``
+    pair via :meth:`sync` and the cache clears itself whenever the pair
+    changes (new telemetry collected, forecasts refit).  All access is
+    lock-guarded; per-digest build locks let concurrent hour workers
+    block on a profile already being built instead of duplicating the
+    simulation.
+    """
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self._profiles: Dict[str, PlanProfile] = {}
+        self._estimates: Dict[Tuple[str, int], WorkflowEstimate] = {}
+        self._build_locks: Dict[str, threading.Lock] = {}
+        self._version: Optional[Tuple[object, object]] = None
+        #: Times :meth:`sync` dropped a populated cache (observability).
+        self.invalidations = 0
+
+    def sync(self, metrics_version: object, forecast_version: object) -> bool:
+        """Declare the current input versions; returns True if stale
+        entries were dropped."""
+        version = (metrics_version, forecast_version)
+        with self.lock:
+            if version == self._version:
+                return False
+            had_entries = bool(self._profiles or self._estimates)
+            self._profiles.clear()
+            self._estimates.clear()
+            self._build_locks.clear()
+            self._version = version
+            if had_entries:
+                self.invalidations += 1
+            return had_entries
+
+    def clear(self) -> None:
+        """Drop everything (keeps the declared version)."""
+        with self.lock:
+            self._profiles.clear()
+            self._estimates.clear()
+            self._build_locks.clear()
+
+    @property
+    def profiles_cached(self) -> int:
+        with self.lock:
+            return len(self._profiles)
+
+    @property
+    def estimates_cached(self) -> int:
+        with self.lock:
+            return len(self._estimates)
+
+
 class PlanEvaluator:
-    """Caches plan profiles and answers metric/tolerance queries."""
+    """Answers metric/tolerance queries over a shared evaluation cache.
+
+    Thread-safe: concurrent per-hour solver workers may share one
+    evaluator.  Distinct plans build their profiles concurrently; the
+    same plan is only ever simulated once (build locks), and the
+    per-plan RNG substreams of the underlying estimator make every
+    cached value independent of build order.
+    """
 
     def __init__(
         self,
@@ -132,6 +234,7 @@ class PlanEvaluator:
         client_region: Optional[str] = None,
         settings: SolverSettings = SolverSettings(),
         stats: Optional[SolverStats] = None,
+        cache: Optional[EvaluationCache] = None,
     ):
         """Args:
         dag / config / data: The workflow and its learned behaviour.
@@ -149,6 +252,11 @@ class PlanEvaluator:
         settings: Fidelity and HBSS hyper-parameters.
         stats: Counter object to accumulate into (a fresh
             :class:`SolverStats` is created when omitted).
+        cache: Shared :class:`EvaluationCache` to read/write (a private
+            one is created when omitted, restoring the old
+            evaluator-lifetime caching).  Callers owning a persistent
+            cache must :meth:`EvaluationCache.sync` it whenever the
+            learned metrics or forecasts feeding this evaluator change.
         """
         self.dag = dag
         self.config = config
@@ -171,8 +279,7 @@ class PlanEvaluator:
             cov_threshold=settings.cov_threshold,
             stats=self.stats,
         )
-        self._profiles: Dict[DeploymentPlan, PlanProfile] = {}
-        self._estimates: Dict[Tuple[DeploymentPlan, int], WorkflowEstimate] = {}
+        self._cache = cache if cache is not None else EvaluationCache()
         self._permitted: Dict[str, Tuple[str, ...]] = {}
         for node in dag.node_names:
             function = dag.node(node).function
@@ -208,25 +315,57 @@ class PlanEvaluator:
         )
 
     # -- evaluation -------------------------------------------------------------
+    @property
+    def cache(self) -> EvaluationCache:
+        return self._cache
+
     def profile(self, plan: DeploymentPlan) -> PlanProfile:
-        if plan not in self._profiles:
-            self._profiles[plan] = self._estimator.estimate_profile(plan)
-            self.stats.profiles_built += 1
-        else:
-            self.stats.profile_cache_hits += 1
-        return self._profiles[plan]
+        digest = plan.digest()
+        cache = self._cache
+        with cache.lock:
+            profile = cache._profiles.get(digest)
+            if profile is None:
+                build_lock = cache._build_locks.setdefault(
+                    digest, threading.Lock()
+                )
+        if profile is not None:
+            self.stats.bump(profile_cache_hits=1)
+            return profile
+        # Build outside the cache lock (the simulation is the expensive
+        # part); the per-digest lock makes racing workers for the *same*
+        # plan wait for one build instead of duplicating it.
+        with build_lock:
+            with cache.lock:
+                profile = cache._profiles.get(digest)
+            if profile is not None:
+                self.stats.bump(profile_cache_hits=1)
+                return profile
+            profile = self._estimator.estimate_profile(plan)
+            with cache.lock:
+                cache._profiles[digest] = profile
+            self.stats.bump(profiles_built=1)
+            return profile
 
     def estimate(self, plan: DeploymentPlan, hour: int) -> WorkflowEstimate:
-        key = (plan, hour)
-        if key not in self._estimates:
-            profile = self.profile(plan)
-            self._estimates[key] = profile.estimate_at(
-                lambda region: self._intensity_fn(region, hour)
-            )
-            self.stats.estimates_computed += 1
-        else:
-            self.stats.estimate_cache_hits += 1
-        return self._estimates[key]
+        key = (plan.digest(), hour)
+        cache = self._cache
+        with cache.lock:
+            estimate = cache._estimates.get(key)
+        if estimate is not None:
+            self.stats.bump(estimate_cache_hits=1)
+            return estimate
+        profile = self.profile(plan)
+        estimate = profile.estimate_at(
+            lambda region: self._intensity_fn(region, hour)
+        )
+        with cache.lock:
+            # Concurrent same-key computes are only possible for shared
+            # anchors (e.g. the home baseline); the value is a pure
+            # function of the cached profile, so first-write-wins keeps
+            # every reader consistent.
+            estimate = cache._estimates.setdefault(key, estimate)
+        self.stats.bump(estimates_computed=1)
+        return estimate
 
     def baseline(self, hour: int) -> WorkflowEstimate:
         """Home-region single-deployment estimate: the QoS anchor."""
@@ -237,7 +376,7 @@ class PlanEvaluator:
 
     @property
     def plans_profiled(self) -> int:
-        return len(self._profiles)
+        return self._cache.profiles_cached
 
     # -- tolerances -----------------------------------------------------------
     def tolerance_violated(self, plan: DeploymentPlan, hour: int) -> bool:

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Optional, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Sequence, Tuple
 
 from repro.common.errors import SolverError
 from repro.core.solver.evaluation import PlanEvaluator
+from repro.core.solver.hbss import resolve_jobs
 from repro.metrics.montecarlo import WorkflowEstimate
-from repro.model.plan import DeploymentPlan
+from repro.model.plan import DeploymentPlan, HourlyPlanSet
 
 #: Refuse to enumerate spaces larger than this (the whole point of HBSS).
 DEFAULT_MAX_PLANS = 100_000
@@ -55,5 +57,36 @@ class ExhaustiveSolver:
         if best_plan is None:
             # Every plan violates tolerances: fall back to home (§6.1).
             best_plan = ev.home_plan()
-        ev.stats.wall_time_s += time.perf_counter() - start_time
+        ev.stats.bump(wall_time_s=time.perf_counter() - start_time)
         return best_plan, ev.estimate(best_plan, hour)
+
+    def solve_day(
+        self,
+        hours: Optional[Sequence[int]] = None,
+        enforce_tolerances: bool = True,
+        jobs: Optional[int] = None,
+    ) -> HourlyPlanSet:
+        """Exact per-hour optima over the day, optionally fanned over a
+        thread pool (``jobs``; ``None`` defers to
+        ``settings.parallel_hours``) — the enumeration is deterministic
+        and the shared evaluator order-independent, so any worker count
+        returns the identical set."""
+        hour_list = list(hours) if hours is not None else list(range(24))
+        if not hour_list:
+            raise ValueError("need at least one hour to solve for")
+        n_jobs = resolve_jobs(
+            jobs, self._ev.settings.parallel_hours, len(hour_list)
+        )
+        if n_jobs <= 1:
+            plans = [
+                self.solve_hour(h, enforce_tolerances)[0] for h in hour_list
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=n_jobs) as pool:
+                plans = list(
+                    pool.map(
+                        lambda h: self.solve_hour(h, enforce_tolerances)[0],
+                        hour_list,
+                    )
+                )
+        return HourlyPlanSet(dict(zip(hour_list, plans)))

@@ -18,24 +18,60 @@ Two departures from the paper's terse pseudo-code are documented here:
   ``(1 + accepted_count[r]) / intensity(r)`` — greener regions and
   regions that previously produced accepted deployments are preferred —
   with probability ``beta`` of an unbiased uniform draw.
+
+Determinism under parallelism
+-----------------------------
+The 24 per-hour solves of a day are independent, so ``solve_day`` can
+fan them over a thread pool (``SolverSettings.parallel_hours`` /
+``jobs``).  Three mechanisms make the parallel result *identical* to the
+serial reference, not merely statistically equivalent:
+
+1. **Per-hour RNG substreams.** Each hour's walk draws from its own
+   generator — either ``rng_factory(hour)`` (the Deployment Manager
+   passes the registry stream ``solver:{workflow}:hour={h}``) or a
+   substream derived from a constructor-drawn salt and a per-solve
+   epoch.  No hour's draws depend on when any other hour runs.
+2. **Order-independent evaluation.** The shared
+   :class:`~repro.core.solver.evaluation.PlanEvaluator` is thread-safe
+   and the Monte-Carlo estimator simulates every plan from a substream
+   keyed by the plan's digest, so cache warm-up order cannot perturb
+   any cached value.
+3. **Deferred observability.** Workers never touch the shared tracer or
+   metrics registry; they return their iteration events, which are
+   replayed in hour order after the pool drains.  The virtual clock is
+   frozen while solving, so the replayed spans are byte-identical to
+   inline serial recording.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import time
 import warnings
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
+from repro.common.rng import derive_seed
 from repro.core.solver.evaluation import PlanEvaluator
 from repro.metrics.montecarlo import WorkflowEstimate
 from repro.model.plan import DeploymentPlan, HourlyPlanSet
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.profile import profiled_phase
 from repro.obs.trace import NULL_TRACER, Tracer
+
+#: One collected iteration event: (span name, span attributes).
+_IterationEvent = Tuple[str, Dict[str, object]]
 
 
 @dataclass
@@ -82,6 +118,17 @@ class SolveResult:
         )
 
 
+def resolve_jobs(jobs: Optional[int], default: int, n_tasks: int) -> int:
+    """Normalise a worker-count knob: ``None`` defers to ``default``,
+    ``0`` means one worker per CPU, and the result is clamped to
+    ``[1, n_tasks]``."""
+    if jobs is None:
+        jobs = default
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(int(jobs), max(1, n_tasks)))
+
+
 class HBSSSolver:
     """Alg. 1, parameterised by a :class:`PlanEvaluator`."""
 
@@ -91,18 +138,124 @@ class HBSSSolver:
         rng: np.random.Generator,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        rng_factory: Optional[Callable[[int], np.random.Generator]] = None,
     ):
+        """Args:
+        evaluator: Shared (thread-safe) plan evaluator.
+        rng: Solver-owned stream.  One salt is drawn from it up front;
+            when ``rng_factory`` is omitted, each hour's walk runs on a
+            substream derived from that salt, the solve epoch, and the
+            hour, so repeated solves still explore differently while
+            hours stay independent of scheduling order.
+        tracer / metrics: Observability sinks (no-ops by default).
+        rng_factory: ``hour -> Generator`` override for callers that
+            manage named streams themselves — the Deployment Manager
+            passes ``lambda h: registry.get(f"solver:{wf}:hour={h}")``
+            so per-hour streams persist (and keep advancing) across
+            token checks.
+        """
         self._ev = evaluator
         self._rng = rng
+        self._hour_salt = int(rng.integers(0, 2**63 - 1))
+        self._rng_factory = rng_factory
+        self._solves = 0
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics if metrics is not None else NULL_METRICS
 
     # -- public API ------------------------------------------------------------
-    def solve_hour(self, hour: int) -> SolveResult:
+    def solve_hour(
+        self, hour: int, warm_start_plan: Optional[DeploymentPlan] = None
+    ) -> SolveResult:
         """Find the best deployment plan for one hour of the day."""
-        with self._tracer.span("solver_hour", f"hour={hour}", hour=hour) as scope:
-            with profiled_phase("solver.solve_hour"):
-                result = self._solve_hour(hour)
+        self._solves += 1
+        result, events = self._solve_hour(
+            hour, self._rng_for_hour(hour), warm_start_plan
+        )
+        return self._emit_hour(result, events)
+
+    def solve_day(
+        self,
+        hours: Optional[Sequence[int]] = None,
+        jobs: Optional[int] = None,
+        warm_start: Optional[HourlyPlanSet] = None,
+    ) -> Tuple[HourlyPlanSet, List[SolveResult]]:
+        """Generate plans for each requested hour (§5.1: "24 plans are
+        generated per solve — one for each hour, given sufficient carbon
+        budget").  Pass fewer hours (e.g. ``[0]``) for the degraded
+        daily granularity of §5.2.
+
+        Args:
+            hours: Hours of the day to solve for (default: all 24).
+            jobs: Worker threads for the hour fan-out.  ``None`` defers
+                to ``settings.parallel_hours``, ``0`` means one per CPU,
+                ``1`` is the serial reference path.  Any value returns
+                the identical plan set (see the module docstring).
+            warm_start: Previous plan set to seed each hour's walk from
+                (§5.2's checks re-solve a barely-moved problem) — each
+                hour starts at ``warm_start.plan_for_hour(h)`` when that
+                plan is still compliant, falling back to home.
+        """
+        hour_list = list(hours) if hours is not None else list(range(24))
+        if not hour_list:
+            raise ValueError("need at least one hour to solve for")
+        self._solves += 1
+        n_jobs = resolve_jobs(
+            jobs, self._ev.settings.parallel_hours, len(hour_list)
+        )
+        # Materialise each hour's substream and warm start up front, in
+        # hour order, so neither depends on worker scheduling.
+        tasks = [
+            (
+                h,
+                self._rng_for_hour(h),
+                warm_start.plan_for_hour(h % 24)
+                if warm_start is not None
+                else None,
+            )
+            for h in hour_list
+        ]
+        with self._tracer.span(
+            "solve", f"hours={len(hour_list)}", n_hours=len(hour_list)
+        ) as scope, profiled_phase("solver.solve_day"):
+            if n_jobs <= 1:
+                collected = [self._solve_hour(*task) for task in tasks]
+            else:
+                with ThreadPoolExecutor(max_workers=n_jobs) as pool:
+                    collected = list(
+                        pool.map(lambda task: self._solve_hour(*task), tasks)
+                    )
+            # Replay per-hour spans/metrics in hour order — the virtual
+            # clock did not advance while solving, so this is
+            # byte-identical to inline serial recording.
+            results = [
+                self._emit_hour(result, events)
+                for result, events in collected
+            ]
+            scope.set(
+                iterations=sum(r.iterations for r in results),
+                accepted=sum(r.accepted for r in results),
+            )
+        self._metrics.counter("solver.solves").inc()
+        plans = {res.hour: res.best_plan for res in results}
+        return HourlyPlanSet(plans), results
+
+    # -- per-hour plumbing ------------------------------------------------------
+    def _rng_for_hour(self, hour: int) -> np.random.Generator:
+        if self._rng_factory is not None:
+            return self._rng_factory(hour)
+        return np.random.default_rng(
+            derive_seed(self._hour_salt, f"solve={self._solves}:hour={hour}")
+        )
+
+    def _emit_hour(
+        self, result: SolveResult, events: List[_IterationEvent]
+    ) -> SolveResult:
+        """Record one finished hour's spans and counters (main thread)."""
+        with self._tracer.span(
+            "solver_hour", f"hour={result.hour}", hour=result.hour
+        ) as scope:
+            for name, attrs in events:
+                self._tracer.record("solver_iteration", name, **attrs)
             scope.set(
                 iterations=result.iterations,
                 accepted=result.accepted,
@@ -116,95 +269,108 @@ class HBSSSolver:
         )
         return result
 
-    def _solve_hour(self, hour: int) -> SolveResult:
+    def _solve_hour(
+        self,
+        hour: int,
+        rng: np.random.Generator,
+        warm_start_plan: Optional[DeploymentPlan] = None,
+    ) -> Tuple[SolveResult, List[_IterationEvent]]:
+        """One hour's HBSS walk.  Runs on a worker thread during a
+        parallel ``solve_day``: touches only the (thread-safe) evaluator
+        and its own ``rng``, and returns iteration events instead of
+        recording them."""
         start_time = time.perf_counter()
-        ev = self._ev
-        dag = ev.dag
-        settings = ev.settings
-        nodes = dag.node_names
-        n_regions = len(ev.regions)
-        alpha = len(nodes) * n_regions * settings.alpha_per_node_region
-        space = ev.search_space_size()
+        events: List[_IterationEvent] = []
+        with profiled_phase("solver.solve_hour"):
+            ev = self._ev
+            dag = ev.dag
+            settings = ev.settings
+            nodes = dag.node_names
+            n_regions = len(ev.regions)
+            alpha = len(nodes) * n_regions * settings.alpha_per_node_region
+            space = ev.search_space_size()
 
-        home = ev.home_plan()
-        current = home
-        current_metric = ev.metric(current, hour)
-        gamma = settings.gamma
+            home = ev.home_plan()
+            current = home
+            current_metric = ev.metric(current, hour)
+            gamma = settings.gamma
 
-        accepted_regions: Dict[str, int] = {r: 0 for r in ev.regions}
-        # Memo of *every* distinct deployment examined — accepted or not
-        # — so complete exploration (Alg. 1 line 9) can actually fire.
-        # Tolerance violators are memoized as +inf: evaluated, never a
-        # candidate for "best".
-        deployments: Dict[DeploymentPlan, float] = {home: current_metric}
-        best_plan, best_metric = current, current_metric
+            accepted_regions: Dict[str, int] = {r: 0 for r in ev.regions}
+            # Memo of *every* distinct deployment examined — accepted or
+            # not — so complete exploration (Alg. 1 line 9) can actually
+            # fire.  Tolerance violators are memoized as +inf: evaluated,
+            # never a candidate for "best".
+            deployments: Dict[DeploymentPlan, float] = {home: current_metric}
+            best_plan, best_metric = current, current_metric
 
-        iterations = 0
-        accepted = 0
-        while iterations < alpha and len(deployments) < space:
-            candidate = self._gen_new_deployment_with_bias(
-                current, hour, accepted_regions
-            )
-            iterations += 1
-            if candidate in deployments:
-                continue
-            if ev.tolerance_violated(candidate, hour):
-                deployments[candidate] = math.inf
-                continue
-            metric = ev.metric(candidate, hour)
-            deployments[candidate] = metric
-            took = metric < current_metric or self._mut(
-                gamma, current_metric, metric
-            )
-            if self._tracer.enabled:
-                self._tracer.record(
-                    "solver_iteration",
-                    f"hour={hour}#{iterations}",
-                    hour=hour,
-                    iteration=iterations,
-                    metric=metric,
-                    accepted=took,
+            # Warm start (§5.2 re-solves a barely-moved problem): begin
+            # the walk at the previous plan set's plan for this hour when
+            # it is still usable; home remains the evaluated QoS anchor.
+            if (
+                warm_start_plan is not None
+                and warm_start_plan != home
+                and warm_start_plan.covers(dag)
+                and ev.is_plan_compliant(warm_start_plan)
+            ):
+                if ev.tolerance_violated(warm_start_plan, hour):
+                    deployments[warm_start_plan] = math.inf
+                else:
+                    warm_metric = ev.metric(warm_start_plan, hour)
+                    deployments[warm_start_plan] = warm_metric
+                    current, current_metric = warm_start_plan, warm_metric
+                    if warm_metric < best_metric:
+                        best_plan, best_metric = warm_start_plan, warm_metric
+
+            iterations = 0
+            accepted = 0
+            while iterations < alpha and len(deployments) < space:
+                candidate = self._gen_new_deployment_with_bias(
+                    current, hour, accepted_regions, rng
                 )
-            if took:
-                current, current_metric = candidate, metric
-                gamma *= ev.settings.gamma_decay
-                accepted += 1
-                for region in set(candidate.assignments.values()):
-                    accepted_regions[region] = accepted_regions.get(region, 0) + 1
-                if metric < best_metric:
-                    best_plan, best_metric = candidate, metric
+                iterations += 1
+                if candidate in deployments:
+                    continue
+                if ev.tolerance_violated(candidate, hour):
+                    deployments[candidate] = math.inf
+                    continue
+                metric = ev.metric(candidate, hour)
+                deployments[candidate] = metric
+                took = metric < current_metric or self._mut(
+                    gamma, current_metric, metric, rng
+                )
+                if self._tracer.enabled:
+                    events.append(
+                        (
+                            f"hour={hour}#{iterations}",
+                            {
+                                "hour": hour,
+                                "iteration": iterations,
+                                "metric": metric,
+                                "accepted": took,
+                            },
+                        )
+                    )
+                if took:
+                    current, current_metric = candidate, metric
+                    gamma *= ev.settings.gamma_decay
+                    accepted += 1
+                    for region in set(candidate.assignments.values()):
+                        accepted_regions[region] = (
+                            accepted_regions.get(region, 0) + 1
+                        )
+                    if metric < best_metric:
+                        best_plan, best_metric = candidate, metric
 
-        ev.stats.wall_time_s += time.perf_counter() - start_time
-        return SolveResult(
-            hour=hour,
-            best_plan=best_plan,
-            best_estimate=ev.estimate(best_plan, hour),
-            iterations=iterations,
-            accepted=accepted,
-            plans_evaluated=len(deployments),
-        )
-
-    def solve_day(
-        self, hours: Optional[Sequence[int]] = None
-    ) -> Tuple[HourlyPlanSet, List[SolveResult]]:
-        """Generate plans for each requested hour (§5.1: "24 plans are
-        generated per solve — one for each hour, given sufficient carbon
-        budget").  Pass fewer hours (e.g. ``[0]``) for the degraded
-        daily granularity of §5.2."""
-        hour_list = list(hours) if hours is not None else list(range(24))
-        if not hour_list:
-            raise ValueError("need at least one hour to solve for")
-        with self._tracer.span(
-            "solve", f"hours={len(hour_list)}", n_hours=len(hour_list)
-        ) as scope, profiled_phase("solver.solve_day"):
-            results = [self.solve_hour(h) for h in hour_list]
-            scope.set(
-                iterations=sum(r.iterations for r in results),
-                accepted=sum(r.accepted for r in results),
+            result = SolveResult(
+                hour=hour,
+                best_plan=best_plan,
+                best_estimate=ev.estimate(best_plan, hour),
+                iterations=iterations,
+                accepted=accepted,
+                plans_evaluated=len(deployments),
             )
-        self._metrics.counter("solver.solves").inc()
-        plans = {res.hour: res.best_plan for res in results}
-        return HourlyPlanSet(plans), results
+        ev.stats.bump(wall_time_s=time.perf_counter() - start_time)
+        return result, events
 
     # -- Alg. 1 internals ---------------------------------------------------------
     def _gen_new_deployment_with_bias(
@@ -212,11 +378,11 @@ class HBSSSolver:
         current: DeploymentPlan,
         hour: int,
         accepted_regions: Dict[str, int],
+        rng: np.random.Generator,
     ) -> DeploymentPlan:
         """``GenNewDeplWBias``: mutate 1-2 node assignments with a
         carbon-and-history-biased region draw."""
         ev = self._ev
-        rng = self._rng
         assignments = dict(current.assignments)
         nodes = ev.dag.node_names
         n_mutations = 1 if rng.random() < 0.7 else min(2, len(nodes))
@@ -244,7 +410,13 @@ class HBSSSolver:
     def _intensity(self, region: str, hour: int) -> float:
         return self._ev._intensity_fn(region, hour)
 
-    def _mut(self, gamma: float, current_metric: float, new_metric: float) -> bool:
+    def _mut(
+        self,
+        gamma: float,
+        current_metric: float,
+        new_metric: float,
+        rng: np.random.Generator,
+    ) -> bool:
         """``Mut``: stochastic acceptance of a non-improving move.
 
         The 0.5 factor caps acceptance of equal-metric moves at 50 % —
@@ -253,4 +425,4 @@ class HBSSSolver:
         """
         scale = abs(current_metric) if current_metric != 0 else 1.0
         delta = gamma * abs(current_metric - new_metric) / scale
-        return bool(self._rng.random() < math.exp(-delta) * 0.5)
+        return bool(rng.random() < math.exp(-delta) * 0.5)

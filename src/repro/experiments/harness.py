@@ -175,10 +175,16 @@ def solve_plan_set(
     hours: Optional[Sequence[int]] = None,
     intensity_fn=None,
     stats: Optional[SolverStats] = None,
+    jobs: Optional[int] = None,
 ) -> HourlyPlanSet:
     """Solve a 24-hour plan set over the week-averaged diurnal profile
     and return it (not yet migrated).  Pass a :class:`SolverStats` to
-    collect simulation/caching/wall-time counters for the run."""
+    collect simulation/caching/wall-time counters for the run.
+
+    ``jobs`` controls the hour fan-out (``None`` defers to
+    ``solver_settings.parallel_hours``); each hour draws from its own
+    registry substream, so the returned plan set is identical for any
+    worker count."""
     cloud = deployed.cloud
     metrics = MetricsManager(
         deployed.dag, deployed.config, cloud.ledger, cloud.carbon_source
@@ -218,8 +224,11 @@ def solve_plan_set(
         cloud.env.rng.get(f"solver:{deployed.name}"),
         tracer=cloud.tracer,
         metrics=cloud.metrics,
+        rng_factory=lambda h: cloud.env.rng.get(
+            f"solver:{deployed.name}:hour={h}"
+        ),
     )
-    plan_set, _ = solver.solve_day(hours)
+    plan_set, _ = solver.solve_day(hours, jobs=jobs)
     return plan_set
 
 
@@ -388,6 +397,7 @@ def run_caribou(
     label: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
     tracer: Optional[Tracer] = None,
+    jobs: Optional[int] = None,
 ) -> RunOutcome:
     """Caribou fine-grained deployment over a region set (Fig. 7 "Fine").
 
@@ -412,7 +422,7 @@ def run_caribou(
     solver_stats = SolverStats()
     plan_set = solve_plan_set(
         deployed, executor, scenario_for_solver, solver_settings,
-        stats=solver_stats,
+        stats=solver_stats, jobs=jobs,
     )
     migrator = DeploymentMigrator(utility, deployed, executor)
     report = migrator.migrate(plan_set)

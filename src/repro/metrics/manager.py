@@ -78,6 +78,10 @@ class CarbonForecastProvider:
         self._source = carbon_source
         self._forecasters: Dict[str, HoltWintersForecaster] = {}
         self._fit_hour: Dict[str, int] = {}
+        #: Bumped on every successful refit; consumers holding derived
+        #: state (e.g. the solver's EvaluationCache) compare it to
+        #: detect that forecast-priced values went stale.
+        self.version = 0
 
     def refit(self, region: str, now_hour: int) -> bool:
         """Fit on the previous week of hourly data ending at ``now_hour``.
@@ -95,6 +99,7 @@ class CarbonForecastProvider:
         forecaster.fit(history)
         self._forecasters[region] = forecaster
         self._fit_hour[region] = now_hour
+        self.version += 1
         return True
 
     def forecast_at(self, region: str, hour: int) -> float:
@@ -154,6 +159,10 @@ class MetricsManager:
         # store each time would dominate solve time.  Invalidated
         # whenever the store changes (collect / eviction).
         self._derived_cache: Dict[Tuple, object] = {}
+        #: Bumped whenever the learned model data changes (any event
+        #: that clears the derived cache); see
+        #: :attr:`CarbonForecastProvider.version` for the pattern.
+        self.version = 0
 
     # -- configuration -------------------------------------------------------
     def declare_external_data(self, node: str, region: str, size_bytes: float) -> None:
@@ -204,6 +213,7 @@ class MetricsManager:
         self._evict_to_cap()
         if new_execs:
             self._derived_cache.clear()
+            self.version += 1
         return new_execs
 
     def _summary_for(self, request_id: str, start_s: float) -> InvocationSummary:
@@ -296,6 +306,7 @@ class MetricsManager:
         for key in summary.info_keys():
             self._bump(key, -1)
         self._derived_cache.clear()
+        self.version += 1
 
     # -- workflow-level statistics (token bucket inputs, §5.2) --------------
     @property

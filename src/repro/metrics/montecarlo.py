@@ -23,9 +23,22 @@ tolerance checks (§7.1).
 
 Determinism note (RNG stream discipline)
 ----------------------------------------
-The estimator consumes randomness in *batch-major, structure-minor*
-order.  For every batch of ``B`` simulations it draws, in this exact
-sequence:
+Each plan is simulated from its *own* derived substream: at
+construction the estimator draws a single 63-bit salt from the
+caller-supplied generator, and ``estimate_profile`` seeds a fresh
+``numpy`` generator from ``derive_seed(salt, plan.digest())``.  Two
+consequences the solver stack relies on:
+
+* profiles are **order-independent** — concurrently solving hours (or a
+  re-ordered cache-warming schedule) cannot perturb any plan's draws,
+  so serial and parallel ``solve_day`` produce bit-identical plan sets;
+* re-profiling the same plan on the same estimator reproduces the same
+  result, which is what makes a digest-keyed profile cache semantically
+  transparent (a hit equals a recompute).
+
+Within one plan's profile run, randomness is consumed in *batch-major,
+structure-minor* order.  For every batch of ``B`` simulations it draws,
+in this exact sequence:
 
 1. one uniform matrix ``rng.random((B, n_conditional_edges))`` realising
    every conditional edge for the whole batch (edges enumerated in
@@ -56,6 +69,7 @@ from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
+from repro.common.rng import derive_seed
 from repro.metrics.carbon import CarbonModel
 from repro.metrics.cost import CostModel
 from repro.metrics.distributions import EmpiricalDistribution
@@ -328,6 +342,10 @@ class MonteCarloEstimator:
         self._cost = cost_model
         self._latency = latency_model
         self._rng = rng
+        # One salt drawn up front; every plan's draws come from a fresh
+        # substream keyed by (salt, plan digest) — see the module
+        # docstring's determinism note.
+        self._plan_salt = int(rng.integers(0, 2**63 - 1))
         self._kv_region = kv_region
         self._client_region = client_region
         self._batch = batch_size
@@ -361,11 +379,12 @@ class MonteCarloEstimator:
             missing = set(self._dag.node_names) - set(plan.assignments)
             raise ValueError(f"plan does not cover nodes: {sorted(missing)}")
 
+        rng = self.plan_rng(plan)
         batches: List[_BatchAccumulators] = []
         n_total = 0
         with profiled_phase("mc.estimate_profile"):
             while n_total < self._max:
-                draws = self._draw_batch(plan, self._batch)
+                draws = self._draw_batch(plan, self._batch, rng)
                 acc = self._make_accumulators(plan, draws.n)
                 if self._vectorized:
                     self._simulate_batch(plan, draws, acc)
@@ -379,8 +398,14 @@ class MonteCarloEstimator:
                     break
 
         if self._stats is not None:
-            self._stats.simulations_run += 1
-            self._stats.samples_drawn += n_total
+            # ``bump`` (SolverStats) is lock-guarded for parallel hour
+            # workers; plain attribute sinks keep working single-threaded.
+            bump = getattr(self._stats, "bump", None)
+            if bump is not None:
+                bump(simulations_run=1, samples_drawn=n_total)
+            else:
+                self._stats.simulations_run += 1
+                self._stats.samples_drawn += n_total
 
         first = batches[0]
         return PlanProfile(
@@ -431,11 +456,18 @@ class MonteCarloEstimator:
         client = self._client_region or kv
         return client, kv
 
-    def _draw_batch(self, plan: DeploymentPlan, n: int) -> _BatchDraws:
+    def plan_rng(self, plan: DeploymentPlan) -> np.random.Generator:
+        """The plan's dedicated substream (fresh generator each call)."""
+        return np.random.default_rng(
+            derive_seed(self._plan_salt, plan.digest())
+        )
+
+    def _draw_batch(
+        self, plan: DeploymentPlan, n: int, rng: np.random.Generator
+    ) -> _BatchDraws:
         """Draw one batch of randomness in the canonical order (see the
         determinism note in the module docstring)."""
         dag = self._dag
-        rng = self._rng
         cond: Dict[Tuple[str, str], np.ndarray] = {}
         cond_edges = [e for e in dag.edges if e.conditional]
         if cond_edges:

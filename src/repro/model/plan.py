@@ -9,6 +9,7 @@ Plans expire (§5.2) so stale decisions never route traffic.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -49,6 +50,24 @@ class DeploymentPlan:
 
     def is_single_region(self) -> bool:
         return len(set(self.assignments.values())) == 1
+
+    def digest(self) -> str:
+        """Stable content hash of the node-to-region mapping.
+
+        Covers only :attr:`assignments` (what evaluation depends on),
+        never the bookkeeping metadata, so re-versioned or re-stamped
+        copies of the same placement share cache entries.  Memoized —
+        the solver calls this on every evaluator lookup.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            payload = ";".join(
+                f"{node}={region}"
+                for node, region in sorted(self.assignments.items())
+            )
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     def is_expired(self, now_s: float) -> bool:
         return self.expires_at_s is not None and now_s >= self.expires_at_s

@@ -24,6 +24,7 @@ harness (``scripts/bench.py``) installs a real :class:`Profiler` via
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Union
 
@@ -41,12 +42,12 @@ class _PhaseScope:
 
     def __enter__(self) -> "_PhaseScope":
         self._t0 = time.perf_counter()
-        self._profiler._stack.append(self)
+        self._profiler._stack().append(self)
         return self
 
     def __exit__(self, *exc_info) -> bool:
         elapsed = time.perf_counter() - self._t0
-        stack = self._profiler._stack
+        stack = self._profiler._stack()
         stack.pop()
         if stack:
             stack[-1]._child_s += elapsed
@@ -55,44 +56,62 @@ class _PhaseScope:
 
 
 class Profiler:
-    """Accumulates wall time per named phase."""
+    """Accumulates wall time per named phase.
+
+    Thread-safe: the nesting stack is thread-local (a worker's phases
+    nest under the worker's own enclosing phases, never a sibling
+    thread's) and accumulation into the shared stats table is
+    lock-guarded — the parallel ``solve_day`` hour workers all report
+    ``solver.solve_hour`` into one table concurrently.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         # name -> [calls, total_s, self_s]
         self._stats: Dict[str, List[float]] = {}
-        self._stack: List[_PhaseScope] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def _stack(self) -> List[_PhaseScope]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def phase(self, name: str) -> _PhaseScope:
         return _PhaseScope(self, name)
 
     def _accumulate(self, name: str, elapsed: float, child_s: float) -> None:
-        entry = self._stats.get(name)
-        if entry is None:
-            entry = self._stats[name] = [0, 0.0, 0.0]
-        entry[0] += 1
-        entry[1] += elapsed
-        entry[2] += max(0.0, elapsed - child_s)
+        with self._lock:
+            entry = self._stats.get(name)
+            if entry is None:
+                entry = self._stats[name] = [0, 0.0, 0.0]
+            entry[0] += 1
+            entry[1] += elapsed
+            entry[2] += max(0.0, elapsed - child_s)
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """Sorted ``{phase: {calls, total_s, self_s}}`` view."""
-        return {
-            name: {
-                "calls": int(entry[0]),
-                "self_s": entry[2],
-                "total_s": entry[1],
+        with self._lock:
+            return {
+                name: {
+                    "calls": int(entry[0]),
+                    "self_s": entry[2],
+                    "total_s": entry[1],
+                }
+                for name, entry in sorted(self._stats.items())
             }
-            for name, entry in sorted(self._stats.items())
-        }
 
     def total_s(self, name: str) -> float:
-        entry = self._stats.get(name)
-        return entry[1] if entry else 0.0
+        with self._lock:
+            entry = self._stats.get(name)
+            return entry[1] if entry else 0.0
 
     def reset(self) -> None:
-        self._stats.clear()
-        self._stack.clear()
+        with self._lock:
+            self._stats.clear()
+        self._stack().clear()
 
     def summary(self) -> str:
         lines = [

@@ -233,3 +233,64 @@ def test_bench_cli_smoke(tmp_path):
     assert doc["metrics"]["executor_events_per_s"]["value"] > 0
     assert "mc.estimate_profile" in doc["phases"]
     assert "solver.solve_hour" in doc["phases"]
+
+
+class TestProfilerThreadSafety:
+    def test_concurrent_phases_accumulate_exactly(self):
+        import threading
+
+        from repro.obs.profile import Profiler
+
+        profiler = Profiler()
+        n_threads, n_calls = 8, 200
+        barrier = threading.Barrier(n_threads)
+
+        def work():
+            barrier.wait()
+            for _ in range(n_calls):
+                with profiler.phase("outer"):
+                    with profiler.phase("inner"):
+                        pass
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = profiler.snapshot()
+        assert snap["outer"]["calls"] == n_threads * n_calls
+        assert snap["inner"]["calls"] == n_threads * n_calls
+        # Nesting is per-thread: inner time subtracts from outer's self
+        # time without ever producing a negative residue.
+        assert snap["outer"]["self_s"] >= 0.0
+        assert snap["outer"]["total_s"] >= snap["inner"]["total_s"]
+
+    def test_nesting_is_thread_local(self):
+        import threading
+
+        from repro.obs.profile import Profiler
+
+        profiler = Profiler()
+        release = threading.Event()
+        entered = threading.Event()
+
+        def holder():
+            with profiler.phase("held"):
+                entered.set()
+                release.wait(timeout=5.0)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        entered.wait(timeout=5.0)
+        # While another thread sits inside "held", this thread's phase
+        # must not nest under it (a shared stack would attribute this
+        # elapsed time to "held" as child time).
+        with profiler.phase("independent"):
+            pass
+        release.set()
+        t.join()
+        snap = profiler.snapshot()
+        assert snap["independent"]["calls"] == 1
+        assert snap["held"]["self_s"] == pytest.approx(
+            snap["held"]["total_s"]
+        )

@@ -56,7 +56,9 @@ class TestCheckCycle:
         warm_up(executor, app, "small", n=2)
         report = dm.check()
         assert not report.solved
-        assert report.tokens_g < report.solve_cost_g
+        assert report.tokens_g < report.solve_cost_quote_g
+        # Nothing was charged: solve_cost_g reports actual consumption.
+        assert report.solve_cost_g == 0.0
 
     def test_sufficient_tokens_triggers_solve(self):
         cloud, app, deployed, executor, dm = make_dm()
@@ -77,7 +79,10 @@ class TestCheckCycle:
         report = dm.check()
         assert report.solved
         assert report.granularity == 1
-        assert report.tokens_g < report.solve_cost_g  # could not afford 24
+        # Could not afford the full 24-hour solve...
+        assert report.tokens_g < report.solve_cost_quote_g
+        # ...so it was charged the cheaper daily price, not the quote.
+        assert 0.0 < report.solve_cost_g < report.solve_cost_quote_g
 
     def test_fixed_frequency_mode_always_solves(self):
         cloud, app, deployed, executor, dm = make_dm(use_token_bucket=False)
@@ -155,3 +160,106 @@ class TestRealizedSavings:
         cloud, app, deployed, executor, dm = make_dm(seed=8)
         warm_up(executor, app, "small", n=3)
         assert dm._realized_savings(0.0, cloud.now() + 1) == 0.0
+
+
+class TestPermittedRegionEarning:
+    """§5.2 regression: tokens are earned against the cleanest region
+    the workflow is *permitted* to run in, not the provider's cleanest
+    region."""
+
+    def _restricted_dm(self, seed=2):
+        from repro.apps.base import default_config
+
+        cloud = SimulatedCloud(seed=seed)
+        app = get_app("rag_ingestion")
+        # Forbid the overwhelmingly cleanest region for every function.
+        config = default_config(
+            disallowed_regions=frozenset({"ca-central-1"})
+        )
+        deployed, executor, utility = deploy_benchmark(
+            app, cloud, config=config
+        )
+        dm = DeploymentManager(
+            deployed, executor, utility,
+            scenario=TransmissionScenario.best_case(),
+            solver_settings=FAST_SOLVER,
+        )
+        return cloud, app, executor, dm
+
+    def test_earn_regions_exclude_disallowed(self):
+        _, _, _, dm = self._restricted_dm()
+        assert "ca-central-1" not in dm._earn_regions
+        assert dm._earn_regions  # never empty
+
+    def test_restricted_workflow_earns_fewer_tokens(self):
+        cloud_r, app_r, executor_r, dm_r = self._restricted_dm()
+        warm_up(executor_r, app_r, "small", n=10)
+        report_r = dm_r.check()
+
+        cloud_u, app_u, _, executor_u, dm_u = make_dm()
+        warm_up(executor_u, app_u, "small", n=10)
+        report_u = dm_u.check()
+
+        # Same seed and traffic: the only difference is the compliance
+        # restriction, which shrinks the earnable intensity differential.
+        earned_r = report_r.tokens_g + report_r.solve_cost_g
+        earned_u = report_u.tokens_g + report_u.solve_cost_g
+        assert earned_r < earned_u
+
+
+class TestPersistentEvaluationCache:
+    def test_cache_reused_across_checks(self):
+        cloud, app, deployed, executor, dm = make_dm(use_token_bucket=False)
+        warm_up(executor, app, "small", n=5)
+        dm.check()
+        assert dm.evaluation_cache.profiles_cached > 0
+        hits_before = dm.solver_stats.profile_cache_hits
+        # No new traffic between checks: the learned inputs are
+        # unchanged, so the second solve reads the first solve's cache.
+        cloud.env.clock.advance(3600.0)
+        dm.check()
+        assert dm.evaluation_cache.invalidations == 0
+        assert dm.solver_stats.profile_cache_hits > hits_before
+
+    def test_cache_invalidated_when_metrics_change(self):
+        cloud, app, deployed, executor, dm = make_dm(use_token_bucket=False)
+        warm_up(executor, app, "small", n=5)
+        dm.check()
+        assert dm.evaluation_cache.profiles_cached > 0
+        # New telemetry arrives: the next collect bumps the metrics
+        # version and the stale cache must be dropped.
+        warm_up(executor, app, "small", n=3)
+        cloud.env.clock.advance(3600.0)
+        dm.check()
+        assert dm.evaluation_cache.invalidations >= 1
+
+
+class TestPlanExpiry:
+    def test_expired_plan_kv_deleted_and_traffic_reverts_home(self):
+        from repro.core.trigger import TokenBucket, TriggerSettings
+
+        cloud, app, deployed, executor, dm = make_dm()
+        warm_up(executor, app, "small", n=5)
+        dm._plan_lifetime = 10.0
+        dm.solve_now(granularity_hours=1)
+        active, _ = deployed.kv().get(
+            deployed.meta_table, "active_plan",
+            caller_region=deployed.kv_region, workflow=deployed.name,
+        )
+        assert active is not None
+        # Starve the bucket so the expiry check cannot re-solve.
+        dm.bucket = TokenBucket(
+            n_nodes=2, n_regions=4,
+            settings=TriggerSettings(solve_seconds_per_node_region=1e6),
+        )
+        cloud.env.clock.advance(3600.0)
+        report = dm.check()
+        assert not report.solved
+        active, _ = deployed.kv().get(
+            deployed.meta_table, "active_plan",
+            caller_region=deployed.kv_region, workflow=deployed.name,
+        )
+        assert active is None
+        home = deployed.config.home_region
+        fallback = executor.fetch_active_plan()
+        assert set(fallback.assignments.values()) == {home}

