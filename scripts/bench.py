@@ -9,13 +9,23 @@ host time (virtual time is free — these numbers say how fast the
 * ``solver_parallel_solves_per_s`` — the same solve fanned over a
   thread pool (``--jobs``), after asserting the parallel plan set is
   *identical* to the serial reference (the determinism contract);
+* ``solver_batched_solves_per_s`` — HBSS with ``wave_size > 1``, which
+  funnels each wave of fresh candidates through the cross-plan stacked
+  Monte-Carlo kernel, gated on bit-identity with the scalar-reference
+  fallback (``batched_evaluation=False``) on the same seed;
+* ``solver_process_solves_per_s`` — the hour fan-out over forked worker
+  *processes* (``parallel_backend="process"``), gated on the same
+  serial-equality contract as the thread pool;
 * ``executor_events_per_s`` — simulation events per second through a
   full Caribou run (executor + pubsub + KV + network);
 * ``mc_samples_per_s``      — Monte-Carlo simulation samples per second
   inside ``estimate_profile`` (measured by the phase profiler);
 * ``tracer_overhead_pct``   — wall-clock cost of running with a live
   :class:`~repro.obs.trace.Tracer` vs the no-op ``NULL_TRACER``,
-  best-of-3 each to shed scheduler noise.
+  best-of-3 each to shed scheduler noise;
+* ``tracer_sampled_overhead_pct`` — the same comparison with request
+  sampling (``Tracer(sample_every=8)``), the cheap way to keep traces
+  on hot paths.
 
 Results are written as ``BENCH_<label>.json`` (schema
 ``caribou.bench/v1``) and optionally compared against a committed
@@ -34,6 +44,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -48,6 +59,7 @@ from repro.apps import get_app  # noqa: E402
 from repro.cloud.provider import SimulatedCloud  # noqa: E402
 from repro.core.solver import SolverStats  # noqa: E402
 from repro.experiments.harness import (  # noqa: E402
+    BENCH_SOLVER_SETTINGS,
     deploy_benchmark,
     run_caribou,
     solve_plan_set,
@@ -64,7 +76,9 @@ BENCH_SCHEMA = "caribou.bench/v1"
 THROUGHPUT_METRICS = (
     "executor_events_per_s",
     "mc_samples_per_s",
+    "solver_batched_solves_per_s",
     "solver_parallel_solves_per_s",
+    "solver_process_solves_per_s",
     "solver_solves_per_s",
 )
 
@@ -90,7 +104,10 @@ def validate_bench(doc: Dict[str, Any]) -> List[str]:
     if not isinstance(metrics, dict):
         problems.append("metrics must be an object")
         metrics = {}
-    for name in THROUGHPUT_METRICS + ("tracer_overhead_pct",):
+    for name in THROUGHPUT_METRICS + (
+        "tracer_overhead_pct",
+        "tracer_sampled_overhead_pct",
+    ):
         entry = metrics.get(name)
         if not isinstance(entry, dict):
             problems.append(f"metrics.{name} missing")
@@ -177,14 +194,26 @@ def bench_solver(smoke: bool) -> Dict[str, float]:
     }
 
 
-def _solved_workload(smoke: bool, jobs: int):
+def _solved_workload(
+    smoke: bool,
+    jobs: int,
+    backend: Optional[str] = None,
+    settings=None,
+    n_hours: Optional[int] = None,
+):
     """Fresh same-seeded deployment, warmed up and solved with ``jobs``
-    workers; returns ``(plan_set, solve_wall_s, n_hours)``."""
+    workers; returns ``(plan_set, solve_wall_s, n_hours)``.  ``backend``
+    and ``settings`` pass straight through to ``solve_plan_set``."""
     cloud = SimulatedCloud(seed=7)
     app = get_app(APP)
     deployed, executor, _ = deploy_benchmark(app, cloud)
     warm_up(executor, app, "small", n=6 if smoke else 12)
-    hours = list(range(2 if smoke else 8))
+    if n_hours is None:
+        n_hours = 2 if smoke else 8
+    hours = list(range(n_hours))
+    kwargs = {}
+    if settings is not None:
+        kwargs["solver_settings"] = settings
     t0 = time.perf_counter()
     plan_set = solve_plan_set(
         deployed,
@@ -192,6 +221,8 @@ def _solved_workload(smoke: bool, jobs: int):
         TransmissionScenario.best_case(),
         hours=hours,
         jobs=jobs,
+        backend=backend,
+        **kwargs,
     )
     return plan_set, time.perf_counter() - t0, len(hours)
 
@@ -212,6 +243,60 @@ def bench_parallel_solver(smoke: bool, jobs: int) -> Dict[str, float]:
         "solver_parallel_solves_per_s": n_hours / max(elapsed, 1e-9),
         "solver_parallel_jobs": float(jobs),
         "solver_parallel_wall_s": elapsed,
+    }
+
+
+#: HBSS candidate wave size for the batched-solver bench: big enough to
+#: keep the stacked kernel busy, small enough that smoke stays fast.
+BATCH_WAVE = 8
+
+
+def bench_batched_solver(smoke: bool) -> Dict[str, float]:
+    """Wave-batched solves/sec — HBSS with ``wave_size > 1`` funnels
+    every wave of fresh candidates through the cross-plan stacked
+    Monte-Carlo kernel.  Gate: the batched run must produce the
+    *bit-identical* plan set of the scalar-reference fallback
+    (``batched_evaluation=False``) on the same seed; a mismatch is a
+    correctness bug, so it aborts the bench."""
+    wave = dataclasses.replace(BENCH_SOLVER_SETTINGS, wave_size=BATCH_WAVE)
+    scalar = dataclasses.replace(wave, batched_evaluation=False)
+    scalar_ps, _, _ = _solved_workload(smoke, jobs=1, settings=scalar)
+    batched_ps, elapsed, n_hours = _solved_workload(
+        smoke, jobs=1, settings=wave
+    )
+    if batched_ps.to_dict() != scalar_ps.to_dict():
+        raise RuntimeError(
+            f"batched plan set (wave_size={BATCH_WAVE}) differs from the "
+            "scalar-reference fallback on the same seed — batched kernel "
+            "bit-identity violated"
+        )
+    return {
+        "solver_batched_solves_per_s": n_hours / max(elapsed, 1e-9),
+        "solver_batched_wave": float(BATCH_WAVE),
+        "solver_batched_wall_s": elapsed,
+    }
+
+
+def bench_process_solver(smoke: bool, jobs: int) -> Dict[str, float]:
+    """Process-pool solves/sec — the hour fan-out over forked workers.
+    Same determinism contract as the thread pool: the process plan set
+    must be identical to the serial reference on the same seed.  Runs a
+    full 24-hour day even in smoke so the one-off fork cost is amortised
+    the way real solves amortise it."""
+    n_hours = 24
+    serial_ps, _, _ = _solved_workload(smoke, jobs=1, n_hours=n_hours)
+    process_ps, elapsed, n_hours = _solved_workload(
+        smoke, jobs=jobs, backend="process", n_hours=n_hours
+    )
+    if process_ps.to_dict() != serial_ps.to_dict():
+        raise RuntimeError(
+            f"process plan set (jobs={jobs}) differs from the serial "
+            "reference on the same seed — determinism contract violated"
+        )
+    return {
+        "solver_process_solves_per_s": n_hours / max(elapsed, 1e-9),
+        "solver_process_jobs": float(jobs),
+        "solver_process_wall_s": elapsed,
     }
 
 
@@ -253,8 +338,14 @@ def bench_executor(smoke: bool) -> Dict[str, float]:
     }
 
 
+#: Request-sampling period for the sampled-tracer bench.
+TRACE_SAMPLE_EVERY = 8
+
+
 def bench_tracer_overhead(smoke: bool) -> Dict[str, float]:
-    """Traced vs untraced wall clock, best-of-3 each."""
+    """Traced vs untraced wall clock, best-of-3 each — once with the
+    full tracer and once with request sampling
+    (``sample_every=TRACE_SAMPLE_EVERY``)."""
     n = 4 if smoke else 12
     repeats = 3
     untraced = min(
@@ -263,10 +354,18 @@ def bench_tracer_overhead(smoke: bool) -> Dict[str, float]:
     traced = min(
         _timed_run(n, tracer=Tracer())["wall_s"] for _ in range(repeats)
     )
+    sampled = min(
+        _timed_run(n, tracer=Tracer(sample_every=TRACE_SAMPLE_EVERY))["wall_s"]
+        for _ in range(repeats)
+    )
     overhead = (traced - untraced) / max(untraced, 1e-9) * 100.0
+    sampled_overhead = (sampled - untraced) / max(untraced, 1e-9) * 100.0
     return {
         "tracer_overhead_pct": overhead,
+        "tracer_sampled_overhead_pct": sampled_overhead,
+        "tracer_sample_every": float(TRACE_SAMPLE_EVERY),
         "traced_wall_s": traced,
+        "sampled_wall_s": sampled,
         "untraced_wall_s": untraced,
     }
 
@@ -276,15 +375,20 @@ def run_bench(label: str, smoke: bool, jobs: int) -> Dict[str, Any]:
     units = {
         "executor_events_per_s": "events/s",
         "mc_samples_per_s": "samples/s",
+        "solver_batched_solves_per_s": "solves/s",
         "solver_parallel_solves_per_s": "solves/s",
+        "solver_process_solves_per_s": "solves/s",
         "solver_solves_per_s": "solves/s",
         "tracer_overhead_pct": "%",
+        "tracer_sampled_overhead_pct": "%",
     }
     raw: Dict[str, float] = {}
     solver = bench_solver(smoke)
     phases = solver.pop("phases")
     raw.update(solver)
     raw.update(bench_parallel_solver(smoke, jobs))
+    raw.update(bench_batched_solver(smoke))
+    raw.update(bench_process_solver(smoke, jobs))
     raw.update(bench_executor(smoke))
     raw.update(bench_tracer_overhead(smoke))
 

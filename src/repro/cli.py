@@ -15,6 +15,7 @@ workflows against a simulated cloud:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Optional, Sequence
@@ -26,6 +27,7 @@ from repro.common.clock import SECONDS_PER_DAY
 from repro.core.solver import SolverStats
 from repro.data.regions import EVALUATION_REGIONS
 from repro.experiments.harness import (
+    BENCH_SOLVER_SETTINGS,
     HOME_REGION,
     deploy_benchmark,
     run_caribou,
@@ -88,6 +90,15 @@ def _default_chaos_plan(regions: Sequence[str], home: str) -> FaultPlan:
     return plan
 
 
+def _solver_settings(args: argparse.Namespace):
+    """The bench defaults, with any CLI solver knobs applied."""
+    settings = BENCH_SOLVER_SETTINGS
+    wave = getattr(args, "wave", None)
+    if wave:
+        settings = dataclasses.replace(settings, wave_size=wave)
+    return settings
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     app = get_app(args.app)
     regions = _parse_regions(args.regions)
@@ -97,7 +108,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         fault_plan = _default_chaos_plan(regions, home)
     # --report needs a trace for its critical-path section; tracing is
     # pure observation, so enabling it never changes the run itself.
-    tracer = Tracer() if (args.trace or args.report) else None
+    tracer = (
+        Tracer(sample_every=args.trace_sample)
+        if (args.trace or args.report)
+        else None
+    )
     if args.coarse:
         outcome = run_coarse(
             app, args.size, args.coarse, seed=args.seed,
@@ -108,7 +123,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         outcome = run_caribou(
             app, args.size, regions, seed=args.seed,
             n_invocations=args.invocations, fault_plan=fault_plan,
-            tracer=tracer, jobs=args.jobs,
+            tracer=tracer, jobs=args.jobs, backend=args.backend,
+            solver_settings=_solver_settings(args),
         )
     print(f"{outcome.label}: {outcome.n_invocations} invocations")
     print(f"  mean service time : {outcome.mean_service_time_s:8.3f} s")
@@ -190,7 +206,9 @@ def cmd_solve(args: argparse.Namespace) -> int:
     )
     stats = SolverStats()
     plan_set = solve_plan_set(
-        deployed, executor, scenario, stats=stats, jobs=args.jobs
+        deployed, executor, scenario,
+        solver_settings=_solver_settings(args),
+        stats=stats, jobs=args.jobs, backend=args.backend,
     )
     print(f"24-hour plan set for {app.name} over {', '.join(regions)}:")
     last = None
@@ -260,6 +278,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "24-hour solve (0 = one per CPU; default "
                             "serial); the plan set is identical for any "
                             "worker count")
+    p_run.add_argument("--backend", choices=("thread", "process"), default=None,
+                       help="worker pool flavour for the hour fan-out "
+                            "(default thread); 'process' forks worker "
+                            "processes and returns the identical plan set")
+    p_run.add_argument("--wave", type=int, default=None,
+                       help="HBSS candidate wave size: evaluate this many "
+                            "fresh candidates per batched kernel call "
+                            "(default 1 = the paper's serial trajectory)")
+    p_run.add_argument("--trace-sample", type=int, default=1,
+                       help="keep every N-th request's spans in the trace "
+                            "(default 1 = record everything); cuts tracer "
+                            "overhead on hot paths")
     p_run.set_defaults(func=cmd_run)
 
     p_solve = sub.add_parser("solve", help="print the solved 24-hour plan set")
@@ -272,6 +302,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="solver hour fan-out: worker threads for the "
                               "24-hour solve (0 = one per CPU; default "
                               "serial)")
+    p_solve.add_argument("--backend", choices=("thread", "process"),
+                         default=None,
+                         help="worker pool flavour for the hour fan-out "
+                              "(default thread); 'process' forks worker "
+                              "processes and returns the identical plan set")
+    p_solve.add_argument("--wave", type=int, default=None,
+                         help="HBSS candidate wave size: evaluate this many "
+                              "fresh candidates per batched kernel call "
+                              "(default 1 = the paper's serial trajectory)")
     p_solve.set_defaults(func=cmd_solve)
 
     p_report = sub.add_parser(

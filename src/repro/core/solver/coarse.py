@@ -17,6 +17,7 @@ from typing import Optional, Sequence, Tuple
 from repro.common.errors import SolverError
 from repro.core.solver.evaluation import PlanEvaluator
 from repro.core.solver.hbss import resolve_jobs
+from repro.core.solver.parallel import process_map
 from repro.metrics.montecarlo import WorkflowEstimate
 from repro.model.plan import DeploymentPlan, HourlyPlanSet
 
@@ -74,10 +75,17 @@ class CoarseSolver:
                 "constraints simultaneously; a coarse single-region plan "
                 "is impossible"
             )
+        plans = [
+            DeploymentPlan.single_region(ev.dag, region) for region in regions
+        ]
+        if len(plans) > 1:
+            # Build all uncached single-region profiles in one stacked
+            # kernel call (values identical to lazy per-plan builds;
+            # no-op when batched evaluation is disabled).
+            ev.prefetch_profiles(plans)
         best_plan: Optional[DeploymentPlan] = None
         best_metric = float("inf")
-        for region in regions:
-            plan = DeploymentPlan.single_region(ev.dag, region)
+        for plan in plans:
             if enforce_tolerances and ev.tolerance_violated(plan, hour):
                 continue
             metric = ev.metric(plan, hour)
@@ -93,15 +101,24 @@ class CoarseSolver:
         hours: Optional[Sequence[int]] = None,
         enforce_tolerances: bool = True,
         jobs: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> HourlyPlanSet:
         """Per-hour winners over the day, optionally fanned over a
-        thread pool (``jobs``; ``None`` defers to
-        ``settings.parallel_hours``).  Deterministic regardless of
-        worker count: the evaluator's per-plan RNG substreams make every
-        estimate order-independent."""
+        worker pool (``jobs``; ``None`` defers to
+        ``settings.parallel_hours``; ``backend`` picks thread vs
+        fork-based process workers, defaulting to
+        ``settings.parallel_backend``).  Deterministic regardless of
+        worker count or backend: the evaluator's per-plan RNG substreams
+        make every estimate order-independent."""
         hour_list = list(hours) if hours is not None else list(range(24))
         if not hour_list:
             raise ValueError("need at least one hour to solve for")
+        if backend is None:
+            backend = self._ev.settings.parallel_backend
+        if backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process', got {backend!r}"
+            )
         n_jobs = resolve_jobs(
             jobs, self._ev.settings.parallel_hours, len(hour_list)
         )
@@ -110,6 +127,17 @@ class CoarseSolver:
                 self._best_plan_for_hour(h, enforce_tolerances)
                 for h in hour_list
             ]
+        elif backend == "process":
+            outputs = process_map(
+                self._hour_task,
+                [(h, enforce_tolerances) for h in hour_list],
+                n_jobs,
+            )
+            plans = []
+            for plan, deltas in outputs:
+                if deltas:
+                    self._ev.stats.bump(**deltas)
+                plans.append(plan)
         else:
             with ThreadPoolExecutor(max_workers=n_jobs) as pool:
                 plans = list(
@@ -121,3 +149,18 @@ class CoarseSolver:
                     )
                 )
         return HourlyPlanSet(dict(zip(hour_list, plans)))
+
+    def _hour_task(self, task: Tuple[int, bool]):
+        """Process-pool work unit: solve one hour in a forked child and
+        ship back the winning plan plus a counter-delta dict (the stats
+        object itself holds a lock and is not picklable)."""
+        hour, enforce_tolerances = task
+        before = self._ev.stats.snapshot()
+        plan = self._best_plan_for_hour(hour, enforce_tolerances)
+        after = self._ev.stats.snapshot()
+        deltas = {
+            name: after[name] - before[name]
+            for name in after
+            if after[name] != before[name]
+        }
+        return plan, deltas

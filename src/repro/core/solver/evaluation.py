@@ -42,11 +42,26 @@ class SolverSettings:
     (``alpha = |N| x |R| x 6``); ``beta`` its bias, ``gamma`` the initial
     temperature with ``gamma_decay`` applied per accepted move.
 
-    ``parallel_hours`` is the worker-thread count ``solve_day`` uses to
-    fan its independent per-hour solves over (per-hour RNG substreams
-    make the result identical to the serial reference regardless of
-    scheduling — see :meth:`HBSSSolver.solve_day`).  ``1`` (default)
-    keeps the serial reference path; ``0`` means one worker per CPU.
+    ``parallel_hours`` is the worker count ``solve_day`` uses to fan its
+    independent per-hour solves over (per-hour RNG substreams make the
+    result identical to the serial reference regardless of scheduling —
+    see :meth:`HBSSSolver.solve_day`).  ``1`` (default) keeps the serial
+    reference path; ``0`` means one worker per CPU.
+    ``parallel_backend`` picks how those workers run: ``"thread"``
+    (default; GIL-bound but cheap to start) or ``"process"`` (fork-based
+    multicore pool, see :mod:`repro.core.solver.parallel`).  Both are
+    bit-identical to serial.
+
+    ``wave_size`` is the number of candidate plans an HBSS iteration
+    wave generates before evaluating them; waves of two or more are
+    evaluated through the cross-plan batched Monte-Carlo kernel
+    (:meth:`~repro.metrics.montecarlo.MonteCarloEstimator.estimate_profiles`).
+    ``1`` (default) preserves Alg. 1's serial generate-then-accept
+    trajectory exactly; larger waves trade some search adaptivity for
+    kernel throughput and are a deliberate algorithm variant, not a
+    drop-in equivalent.  ``batched_evaluation`` gates the batched kernel
+    itself: when False, wave candidates fall back to per-plan profile
+    builds (bit-identical values — the differential tests rely on it).
     """
 
     batch_size: int = 100
@@ -57,6 +72,9 @@ class SolverSettings:
     gamma: float = 1.0
     gamma_decay: float = 0.99
     parallel_hours: int = 1
+    parallel_backend: str = "thread"
+    wave_size: int = 1
+    batched_evaluation: bool = True
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0 or self.max_samples <= 0:
@@ -79,6 +97,15 @@ class SolverSettings:
             raise ValueError(
                 f"parallel_hours must be >= 0 (0 = one worker per CPU), "
                 f"got {self.parallel_hours}"
+            )
+        if self.parallel_backend not in ("thread", "process"):
+            raise ValueError(
+                f"parallel_backend must be 'thread' or 'process', "
+                f"got {self.parallel_backend!r}"
+            )
+        if self.wave_size <= 0:
+            raise ValueError(
+                f"wave_size must be positive, got {self.wave_size}"
             )
 
 
@@ -123,11 +150,38 @@ class SolverStats:
         default_factory=threading.Lock, repr=False, compare=False
     )
 
+    #: Counter fields carried across the process-pool boundary.
+    COUNTER_FIELDS = (
+        "simulations_run",
+        "samples_drawn",
+        "profiles_built",
+        "profile_cache_hits",
+        "estimates_computed",
+        "estimate_cache_hits",
+        "wall_time_s",
+    )
+
     def bump(self, **deltas: float) -> None:
         """Atomically add ``deltas`` to the named counters."""
         with self._lock:
             for name, delta in deltas.items():
                 setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict copy of the counters.
+
+        :class:`SolverStats` itself holds a ``threading.Lock`` and is
+        not picklable; process-pool hour workers snapshot before/after
+        their solve and ship the *delta* dict back to the parent (see
+        ``HBSSSolver.solve_day``).  Note the scheduling-invariance
+        promise above holds for serial and thread runs only: process
+        workers start from a fork-time cache copy, so plans already
+        cached in the parent may be rebuilt per worker and the summed
+        build/hit counters can exceed the serial ones.  Plan *results*
+        remain bit-identical.
+        """
+        with self._lock:
+            return {name: getattr(self, name) for name in self.COUNTER_FIELDS}
 
     def summary(self) -> str:
         """One-line human-readable digest for CLI/harness output."""
@@ -345,6 +399,62 @@ class PlanEvaluator:
                 cache._profiles[digest] = profile
             self.stats.bump(profiles_built=1)
             return profile
+
+    def prefetch_profiles(self, plans: Sequence[DeploymentPlan]) -> int:
+        """Build every uncached plan profile through the cross-plan
+        batched kernel; returns the number of profiles built.
+
+        Values are bit-identical to per-plan :meth:`profile` builds
+        (each plan draws from its own digest-keyed substream), so
+        prefetching only changes *when* profiles are built, never what
+        they contain.  Safe under concurrent hour workers: per-digest
+        build locks are acquired in sorted-digest order (no deadlock
+        against other prefetchers), and any plan another worker finishes
+        first is simply skipped.  No-op when ``batched_evaluation`` is
+        disabled in the settings — callers need no branch.
+        """
+        if not self.settings.batched_evaluation:
+            return 0
+        unique: Dict[str, DeploymentPlan] = {}
+        for plan in plans:
+            unique.setdefault(plan.digest(), plan)
+        cache = self._cache
+        with cache.lock:
+            missing = [
+                (digest, plan)
+                for digest, plan in unique.items()
+                if digest not in cache._profiles
+            ]
+            locks = {
+                digest: cache._build_locks.setdefault(digest, threading.Lock())
+                for digest, _ in missing
+            }
+        if not missing:
+            return 0
+        acquired = []
+        try:
+            for digest in sorted(locks):
+                locks[digest].acquire()
+                acquired.append(locks[digest])
+            with cache.lock:
+                to_build = [
+                    (digest, plan)
+                    for digest, plan in missing
+                    if digest not in cache._profiles
+                ]
+            if not to_build:
+                return 0
+            profiles = self._estimator.estimate_profiles(
+                [plan for _, plan in to_build]
+            )
+            with cache.lock:
+                for (digest, _), profile in zip(to_build, profiles):
+                    cache._profiles[digest] = profile
+            self.stats.bump(profiles_built=len(to_build))
+            return len(to_build)
+        finally:
+            for lock in acquired:
+                lock.release()
 
     def estimate(self, plan: DeploymentPlan, hour: int) -> WorkflowEstimate:
         key = (plan.digest(), hour)

@@ -18,11 +18,16 @@ from typing import Optional, Sequence, Tuple
 from repro.common.errors import SolverError
 from repro.core.solver.evaluation import PlanEvaluator
 from repro.core.solver.hbss import resolve_jobs
+from repro.core.solver.parallel import process_map
 from repro.metrics.montecarlo import WorkflowEstimate
 from repro.model.plan import DeploymentPlan, HourlyPlanSet
 
 #: Refuse to enumerate spaces larger than this (the whole point of HBSS).
 DEFAULT_MAX_PLANS = 100_000
+
+#: Plans per batched-prefetch wave: bounds the stacked kernel's working
+#: set (wave x max_samples doubles per accumulator array).
+PREFETCH_WAVE = 64
 
 
 class ExhaustiveSolver:
@@ -45,10 +50,18 @@ class ExhaustiveSolver:
             )
         nodes = ev.dag.node_names
         domains = [ev.permitted_regions(n) for n in nodes]
+        all_plans = [
+            DeploymentPlan(dict(zip(nodes, combo)))
+            for combo in itertools.product(*domains)
+        ]
+        # Prefetch profiles in bounded waves through the cross-plan
+        # batched kernel — every plan gets ranked below anyway, so this
+        # only front-loads (and batches) the simulation work.
+        for lo in range(0, len(all_plans), PREFETCH_WAVE):
+            ev.prefetch_profiles(all_plans[lo : lo + PREFETCH_WAVE])
         best_plan: Optional[DeploymentPlan] = None
         best_metric = float("inf")
-        for combo in itertools.product(*domains):
-            plan = DeploymentPlan(dict(zip(nodes, combo)))
+        for plan in all_plans:
             if enforce_tolerances and ev.tolerance_violated(plan, hour):
                 continue
             metric = ev.metric(plan, hour)
@@ -65,15 +78,23 @@ class ExhaustiveSolver:
         hours: Optional[Sequence[int]] = None,
         enforce_tolerances: bool = True,
         jobs: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> HourlyPlanSet:
         """Exact per-hour optima over the day, optionally fanned over a
-        thread pool (``jobs``; ``None`` defers to
-        ``settings.parallel_hours``) — the enumeration is deterministic
-        and the shared evaluator order-independent, so any worker count
-        returns the identical set."""
+        worker pool (``jobs``; ``None`` defers to
+        ``settings.parallel_hours``; ``backend`` defaults to
+        ``settings.parallel_backend``) — the enumeration is
+        deterministic and the shared evaluator order-independent, so any
+        worker count or backend returns the identical set."""
         hour_list = list(hours) if hours is not None else list(range(24))
         if not hour_list:
             raise ValueError("need at least one hour to solve for")
+        if backend is None:
+            backend = self._ev.settings.parallel_backend
+        if backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process', got {backend!r}"
+            )
         n_jobs = resolve_jobs(
             jobs, self._ev.settings.parallel_hours, len(hour_list)
         )
@@ -81,6 +102,17 @@ class ExhaustiveSolver:
             plans = [
                 self.solve_hour(h, enforce_tolerances)[0] for h in hour_list
             ]
+        elif backend == "process":
+            outputs = process_map(
+                self._hour_task,
+                [(h, enforce_tolerances) for h in hour_list],
+                n_jobs,
+            )
+            plans = []
+            for plan, deltas in outputs:
+                if deltas:
+                    self._ev.stats.bump(**deltas)
+                plans.append(plan)
         else:
             with ThreadPoolExecutor(max_workers=n_jobs) as pool:
                 plans = list(
@@ -90,3 +122,17 @@ class ExhaustiveSolver:
                     )
                 )
         return HourlyPlanSet(dict(zip(hour_list, plans)))
+
+    def _hour_task(self, task: Tuple[int, bool]):
+        """Process-pool work unit (forked child): winning plan plus a
+        plain counter-delta dict (``SolverStats`` is not picklable)."""
+        hour, enforce_tolerances = task
+        before = self._ev.stats.snapshot()
+        plan = self.solve_hour(hour, enforce_tolerances)[0]
+        after = self._ev.stats.snapshot()
+        deltas = {
+            name: after[name] - before[name]
+            for name in after
+            if after[name] != before[name]
+        }
+        return plan, deltas

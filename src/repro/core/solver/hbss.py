@@ -64,6 +64,7 @@ import numpy as np
 
 from repro.common.rng import derive_seed
 from repro.core.solver.evaluation import PlanEvaluator
+from repro.core.solver.parallel import process_map
 from repro.metrics.montecarlo import WorkflowEstimate
 from repro.model.plan import DeploymentPlan, HourlyPlanSet
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
@@ -106,9 +107,11 @@ class SolveResult:
     @property
     def offloaded_nodes(self) -> Tuple[str, ...]:
         """Nodes the best plan places away from the plan's modal region
-        — a quick signal of fine-grained behaviour."""
+        — a quick signal of fine-grained behaviour.  Modal-count ties
+        break lexicographically: iterating a set would make the winner
+        (and thus reports) depend on PYTHONHASHSEED."""
         regions = list(self.best_plan.assignments.values())
-        modal = max(set(regions), key=regions.count)
+        modal = min(set(regions), key=lambda r: (-regions.count(r), r))
         return tuple(
             sorted(
                 n
@@ -178,6 +181,7 @@ class HBSSSolver:
         hours: Optional[Sequence[int]] = None,
         jobs: Optional[int] = None,
         warm_start: Optional[HourlyPlanSet] = None,
+        backend: Optional[str] = None,
     ) -> Tuple[HourlyPlanSet, List[SolveResult]]:
         """Generate plans for each requested hour (§5.1: "24 plans are
         generated per solve — one for each hour, given sufficient carbon
@@ -186,18 +190,32 @@ class HBSSSolver:
 
         Args:
             hours: Hours of the day to solve for (default: all 24).
-            jobs: Worker threads for the hour fan-out.  ``None`` defers
-                to ``settings.parallel_hours``, ``0`` means one per CPU,
+            jobs: Workers for the hour fan-out.  ``None`` defers to
+                ``settings.parallel_hours``, ``0`` means one per CPU,
                 ``1`` is the serial reference path.  Any value returns
                 the identical plan set (see the module docstring).
             warm_start: Previous plan set to seed each hour's walk from
                 (§5.2's checks re-solve a barely-moved problem) — each
                 hour starts at ``warm_start.plan_for_hour(h)`` when that
                 plan is still compliant, falling back to home.
+            backend: ``"thread"`` or ``"process"`` (``None`` defers to
+                ``settings.parallel_backend``).  The process backend
+                forks true-multicore workers (see
+                :mod:`repro.core.solver.parallel`): per-hour tasks and
+                results are picklable, worker RNG states are merged back
+                into the per-hour streams, and counter deltas are summed
+                into the shared stats — the plan set stays bit-identical
+                to serial.
         """
         hour_list = list(hours) if hours is not None else list(range(24))
         if not hour_list:
             raise ValueError("need at least one hour to solve for")
+        if backend is None:
+            backend = self._ev.settings.parallel_backend
+        if backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process', got {backend!r}"
+            )
         self._solves += 1
         n_jobs = resolve_jobs(
             jobs, self._ev.settings.parallel_hours, len(hour_list)
@@ -219,6 +237,8 @@ class HBSSSolver:
         ) as scope, profiled_phase("solver.solve_day"):
             if n_jobs <= 1:
                 collected = [self._solve_hour(*task) for task in tasks]
+            elif backend == "process":
+                collected = self._solve_day_process(tasks, n_jobs)
             else:
                 with ThreadPoolExecutor(max_workers=n_jobs) as pool:
                     collected = list(
@@ -240,6 +260,50 @@ class HBSSSolver:
         return HourlyPlanSet(plans), results
 
     # -- per-hour plumbing ------------------------------------------------------
+    def _solve_day_process(
+        self,
+        tasks: List[Tuple[int, np.random.Generator, Optional[DeploymentPlan]]],
+        n_jobs: int,
+    ) -> List[Tuple[SolveResult, List[_IterationEvent]]]:
+        """Fan the per-hour tasks over a fork-based process pool.
+
+        Workers inherit the whole solver by fork (nothing unpicklable
+        crosses the boundary) and return, per hour: the result, its
+        deferred events, the final state of the hour's RNG, and a
+        counter-delta dict.  The parent then (a) advances its own
+        per-hour registry streams to the returned states — so a later
+        serial solve continues from exactly where a serial run would
+        have — and (b) sums the deltas into the shared stats.
+        """
+        outputs = process_map(self._solve_hour_task, tasks, n_jobs)
+        collected = []
+        for (hour, _rng, _warm), out in zip(tasks, outputs):
+            result, events, rng_state, deltas = out
+            if self._rng_factory is not None:
+                # The worker advanced a pickled *copy* of the hour's
+                # stream; mirror its final state onto the parent's.
+                self._rng_factory(hour).bit_generator.state = rng_state
+            if deltas:
+                self._ev.stats.bump(**deltas)
+            collected.append((result, events))
+        return collected
+
+    def _solve_hour_task(
+        self,
+        task: Tuple[int, np.random.Generator, Optional[DeploymentPlan]],
+    ) -> Tuple[SolveResult, List[_IterationEvent], dict, Dict[str, float]]:
+        """Process-pool work unit (runs in a forked child)."""
+        hour, rng, warm_start_plan = task
+        before = self._ev.stats.snapshot()
+        result, events = self._solve_hour(hour, rng, warm_start_plan)
+        after = self._ev.stats.snapshot()
+        deltas = {
+            name: after[name] - before[name]
+            for name in after
+            if after[name] != before[name]
+        }
+        return result, events, rng.bit_generator.state, deltas
+
     def _rng_for_hour(self, hour: int) -> np.random.Generator:
         if self._rng_factory is not None:
             return self._rng_factory(hour)
@@ -323,43 +387,65 @@ class HBSSSolver:
 
             iterations = 0
             accepted = 0
+            wave_size = settings.wave_size
+            # The walk proceeds in waves: generate ``wave_size``
+            # candidates from the current state, evaluate, then run the
+            # serial acceptance pass over them.  ``wave_size=1`` is
+            # exactly Alg. 1's generate-then-accept trajectory (same
+            # draws in the same order); larger waves prefetch their
+            # fresh candidates through the cross-plan batched kernel
+            # (profile values are bit-identical to per-plan builds, so
+            # batched on/off cannot change the trajectory — only waves
+            # greater than one are a distinct search variant).
             while iterations < alpha and len(deployments) < space:
-                candidate = self._gen_new_deployment_with_bias(
-                    current, hour, accepted_regions, rng
-                )
-                iterations += 1
-                if candidate in deployments:
-                    continue
-                if ev.tolerance_violated(candidate, hour):
-                    deployments[candidate] = math.inf
-                    continue
-                metric = ev.metric(candidate, hour)
-                deployments[candidate] = metric
-                took = metric < current_metric or self._mut(
-                    gamma, current_metric, metric, rng
-                )
-                if self._tracer.enabled:
-                    events.append(
-                        (
-                            f"hour={hour}#{iterations}",
-                            {
-                                "hour": hour,
-                                "iteration": iterations,
-                                "metric": metric,
-                                "accepted": took,
-                            },
-                        )
+                wave: List[Tuple[DeploymentPlan, int]] = []
+                while len(wave) < wave_size and iterations < alpha:
+                    candidate = self._gen_new_deployment_with_bias(
+                        current, hour, accepted_regions, rng
                     )
-                if took:
-                    current, current_metric = candidate, metric
-                    gamma *= ev.settings.gamma_decay
-                    accepted += 1
-                    for region in set(candidate.assignments.values()):
-                        accepted_regions[region] = (
-                            accepted_regions.get(region, 0) + 1
+                    iterations += 1
+                    wave.append((candidate, iterations))
+                if wave_size > 1:
+                    fresh = [
+                        cand for cand, _ in wave if cand not in deployments
+                    ]
+                    if len(fresh) > 1:
+                        ev.prefetch_profiles(fresh)
+                for candidate, iteration in wave:
+                    if len(deployments) >= space:
+                        break
+                    if candidate in deployments:
+                        continue
+                    if ev.tolerance_violated(candidate, hour):
+                        deployments[candidate] = math.inf
+                        continue
+                    metric = ev.metric(candidate, hour)
+                    deployments[candidate] = metric
+                    took = metric < current_metric or self._mut(
+                        gamma, current_metric, metric, rng
+                    )
+                    if self._tracer.enabled:
+                        events.append(
+                            (
+                                f"hour={hour}#{iteration}",
+                                {
+                                    "hour": hour,
+                                    "iteration": iteration,
+                                    "metric": metric,
+                                    "accepted": took,
+                                },
+                            )
                         )
-                    if metric < best_metric:
-                        best_plan, best_metric = candidate, metric
+                    if took:
+                        current, current_metric = candidate, metric
+                        gamma *= ev.settings.gamma_decay
+                        accepted += 1
+                        for region in set(candidate.assignments.values()):
+                            accepted_regions[region] = (
+                                accepted_regions.get(region, 0) + 1
+                            )
+                        if metric < best_metric:
+                            best_plan, best_metric = candidate, metric
 
             result = SolveResult(
                 hour=hour,

@@ -1,0 +1,85 @@
+"""Fork-based process-pool fan-out for per-hour solver work.
+
+The thread-pool ``solve_day`` fan-out is GIL-bound: the per-hour HBSS
+walks are numpy-light Python loops, so threads serialise on the
+interpreter and "parallel" runs measure *slower* than serial.  This
+module provides the true-multicore alternative.
+
+Design: the worker function is installed in a module global *before*
+the pool forks, so children inherit it (and everything it closes over —
+the solver, its evaluator, learned model data, closures like the
+intensity accessor) by address-space copy.  Nothing of that object graph
+is ever pickled; only the per-hour **tasks** and **results** cross the
+process boundary, and those are small picklable tuples by construction
+(plans, estimates, numpy generator states, plain-dict counter deltas).
+
+Fork semantics also give each child a snapshot of the parent's
+evaluation cache at pool-creation time.  Per-plan digest-keyed RNG
+substreams make every cached value order-independent, so child-local
+cache divergence cannot change any plan result — solve outputs stay
+bit-identical to the serial reference.  Only *counters* differ: a plan
+the parent had not cached yet may be rebuilt by several workers (their
+caches do not merge back), so summed build counters can exceed serial
+ones.
+
+On platforms without the ``fork`` start method (Windows; macOS defaults
+to ``spawn``) the map falls back to in-process serial execution with a
+warning — results are identical either way, only the speedup is lost.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+from typing import Any, Callable, List, Sequence
+
+#: Worker function slot inherited by forked children.  Module-global on
+#: purpose: ``Pool`` only ever pickles the tiny ``_invoke`` trampoline,
+#: never the function (or the solver object graph) bound here.
+_FORK_FN: Any = None
+
+
+def _invoke(task: Any) -> Any:
+    return _FORK_FN(task)
+
+
+def fork_available() -> bool:
+    """Whether the platform supports the ``fork`` start method."""
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def process_map(
+    fn: Callable[[Any], Any], tasks: Sequence[Any], n_jobs: int
+) -> List[Any]:
+    """Map ``fn`` over ``tasks`` in a fork-based process pool.
+
+    ``fn`` reaches the workers via fork inheritance and may therefore
+    close over arbitrarily rich (unpicklable) state; each task and each
+    result must be picklable.  Do not call while other threads of the
+    parent may hold locks ``fn`` needs — forked children inherit lock
+    state (``solve_day`` only forks from its main thread, where no
+    solver lock is held).
+    """
+    if not tasks:
+        return []
+    if not fork_available():  # pragma: no cover - platform dependent
+        warnings.warn(
+            "fork start method unavailable on this platform; process "
+            "backend falling back to in-process serial execution",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(task) for task in tasks]
+    global _FORK_FN
+    if _FORK_FN is not None:
+        raise RuntimeError("process_map is not reentrant")
+    context = multiprocessing.get_context("fork")
+    _FORK_FN = fn
+    try:
+        with context.Pool(processes=n_jobs) as pool:
+            return pool.map(_invoke, tasks)
+    finally:
+        _FORK_FN = None

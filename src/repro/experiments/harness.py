@@ -176,15 +176,18 @@ def solve_plan_set(
     intensity_fn=None,
     stats: Optional[SolverStats] = None,
     jobs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> HourlyPlanSet:
     """Solve a 24-hour plan set over the week-averaged diurnal profile
     and return it (not yet migrated).  Pass a :class:`SolverStats` to
     collect simulation/caching/wall-time counters for the run.
 
     ``jobs`` controls the hour fan-out (``None`` defers to
-    ``solver_settings.parallel_hours``); each hour draws from its own
+    ``solver_settings.parallel_hours``) and ``backend`` how the workers
+    run (``"thread"`` or ``"process"``; ``None`` defers to
+    ``solver_settings.parallel_backend``); each hour draws from its own
     registry substream, so the returned plan set is identical for any
-    worker count."""
+    worker count or backend."""
     cloud = deployed.cloud
     metrics = MetricsManager(
         deployed.dag, deployed.config, cloud.ledger, cloud.carbon_source
@@ -228,7 +231,7 @@ def solve_plan_set(
             f"solver:{deployed.name}:hour={h}"
         ),
     )
-    plan_set, _ = solver.solve_day(hours, jobs=jobs)
+    plan_set, _ = solver.solve_day(hours, jobs=jobs, backend=backend)
     return plan_set
 
 
@@ -398,6 +401,7 @@ def run_caribou(
     fault_plan: Optional[FaultPlan] = None,
     tracer: Optional[Tracer] = None,
     jobs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> RunOutcome:
     """Caribou fine-grained deployment over a region set (Fig. 7 "Fine").
 
@@ -422,7 +426,7 @@ def run_caribou(
     solver_stats = SolverStats()
     plan_set = solve_plan_set(
         deployed, executor, scenario_for_solver, solver_settings,
-        stats=solver_stats, jobs=jobs,
+        stats=solver_stats, jobs=jobs, backend=backend,
     )
     migrator = DeploymentMigrator(utility, deployed, executor)
     report = migrator.migrate(plan_set)

@@ -53,9 +53,14 @@ SPAN_KINDS = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
-    """One traced operation over a virtual-time interval."""
+    """One traced operation over a virtual-time interval.
+
+    Slotted: span construction sits on the traced hot path (one span
+    per simulated operation), and slots cut both per-span memory and
+    attribute-access cost versus a ``__dict__``-backed dataclass.
+    """
 
     span_id: int
     kind: str
@@ -130,18 +135,69 @@ class _SpanScope:
         return False  # never swallow
 
 
+class _DropScope:
+    """Scope for a span suppressed by request sampling.
+
+    Mirrors :class:`_SpanScope`'s surface but records nothing, and
+    counts scope depth on its tracer so *synchronous children* created
+    inside it (which carry no request id of their own — e.g. the
+    transfer a publish performs) are suppressed too instead of being
+    recorded as orphan roots.
+    """
+
+    __slots__ = ("_tracer",)
+    span = None
+
+    def __init__(self, tracer: "Tracer"):
+        self._tracer = tracer
+
+    def end_at(self, t1: float) -> None:
+        pass
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_DropScope":
+        self._tracer._drop_depth += 1
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._tracer._drop_depth -= 1
+        return False
+
+
 class Tracer:
-    """Collects spans against a bound virtual clock."""
+    """Collects spans against a bound virtual clock.
+
+    ``sample_every=N`` keeps every N-th tracked request (the first,
+    then every N-th after it, by ``open_request`` order) and drops all
+    spans of the others — root, children, and synchronous descendants
+    alike.  Request order is deterministic under the virtual clock, so
+    a sampled trace is still byte-identical across same-seed runs;
+    control-plane spans (solver, migration) are never sampled away.
+    The default ``1`` records everything, preserving existing traces.
+    """
 
     enabled = True
 
-    def __init__(self, clock: Optional[VirtualClock] = None):
+    def __init__(
+        self, clock: Optional[VirtualClock] = None, sample_every: int = 1
+    ):
+        if sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
         self._clock = clock
+        self._sample_every = sample_every
         self.spans: List[Span] = []
         self._next_id = 0
         self._stack: List[Span] = []  # synchronous parenting scopes
         self._request_roots: Dict[str, Span] = {}
         self._finalized = False
+        self._request_seq = 0
+        self._dropped_requests: set = set()
+        self._drop_depth = 0
+        self._drop_scope = _DropScope(self)
 
     # -- wiring --------------------------------------------------------------
     def bind_clock(self, clock: VirtualClock) -> None:
@@ -187,6 +243,11 @@ class Tracer:
         self._finalized = False
         return span
 
+    def _suppressed(self, request_id: str) -> bool:
+        return self._drop_depth > 0 or (
+            bool(request_id) and request_id in self._dropped_requests
+        )
+
     def record(
         self,
         kind: str,
@@ -198,8 +259,12 @@ class Tracer:
         request_id: str = "",
         parent_id: Optional[int] = None,
         **attrs: Any,
-    ) -> Span:
-        """Record a closed span in one shot (defaults to a point in time)."""
+    ) -> Optional[Span]:
+        """Record a closed span in one shot (defaults to a point in
+        time).  Returns ``None`` when request sampling drops the span.
+        """
+        if self._suppressed(request_id):
+            return None
         span = self._new_span(kind, name, t0, workflow, request_id, parent_id, attrs)
         span.t1 = t1 if t1 is not None else span.t0
         return span
@@ -214,14 +279,26 @@ class Tracer:
         request_id: str = "",
         parent_id: Optional[int] = None,
         **attrs: Any,
-    ) -> _SpanScope:
-        """Open a span as a context manager; synchronous children nest."""
+    ):
+        """Open a span as a context manager; synchronous children nest.
+        Sampled-away requests get a no-op scope that also suppresses
+        synchronous descendants."""
+        if self._suppressed(request_id):
+            return self._drop_scope
         span = self._new_span(kind, name, t0, workflow, request_id, parent_id, attrs)
         return _SpanScope(self, span)
 
     # -- request lifecycle ----------------------------------------------------
-    def open_request(self, request_id: str, workflow: str = "") -> Span:
-        """Open the root span for a tracked request."""
+    def open_request(self, request_id: str, workflow: str = "") -> Optional[Span]:
+        """Open the root span for a tracked request.
+
+        With sampling active, a request outside the kept stride returns
+        ``None`` and every subsequent span carrying its id is dropped.
+        """
+        self._request_seq += 1
+        if (self._request_seq - 1) % self._sample_every != 0:
+            self._dropped_requests.add(request_id)
+            return None
         span = self._new_span(
             "request", request_id, None, workflow, request_id, None, {}
         )

@@ -127,6 +127,7 @@ def _valid_doc() -> dict:
         for name in bench.THROUGHPUT_METRICS
     }
     metrics["tracer_overhead_pct"] = {"unit": "%", "value": 1.5}
+    metrics["tracer_sampled_overhead_pct"] = {"unit": "%", "value": 0.3}
     return {
         "app": "text2speech_censoring",
         "label": "test",

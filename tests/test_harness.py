@@ -121,6 +121,42 @@ class TestRunCaribou:
         assert math.isfinite(ratio) and ratio > 0
 
 
+class TestBackendEquivalence:
+    """Full harness runs are invariant to the solver backend — with and
+    without chaos faults in play."""
+
+    def _outcome_key(self, out):
+        return (
+            out.plan_set.to_dict(),
+            out.mean_service_time_s,
+            {name: stats.mean_carbon_g
+             for name, stats in out.per_scenario.items()},
+            out.regions_used,
+        )
+
+    @pytest.mark.parametrize("chaos", [False, True])
+    def test_process_backend_matches_serial_run(self, chaos):
+        from repro.cloud.faults import FaultPlan
+        from repro.core.solver.parallel import fork_available
+
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        app = get_app("dna_visualization")
+        fault_plan = (
+            FaultPlan().with_invocation_failures(0.1) if chaos else None
+        )
+        runs = {}
+        for backend in (None, "process"):
+            out = run_caribou(
+                app, "small", ("us-east-1", "ca-central-1"), seed=11,
+                n_invocations=6, warmup=5, days=1, solver_settings=FAST,
+                fault_plan=fault_plan,
+                jobs=2 if backend else None, backend=backend,
+            )
+            runs[backend] = self._outcome_key(out)
+        assert runs["process"] == runs[None]
+
+
 class TestSolvePlanSet:
     def test_plan_set_covers_24_hours(self):
         cloud = SimulatedCloud(seed=9)

@@ -151,6 +151,61 @@ class TestTracer:
         assert len(tracer) == 1
 
 
+class TestTracerSampling:
+    """Request sampling: keep every N-th request, drop the rest whole."""
+
+    def test_sample_every_validation(self, clock):
+        with pytest.raises(ValueError, match="sample_every"):
+            Tracer(clock, sample_every=0)
+
+    def test_default_keeps_everything(self, tracer):
+        for i in range(4):
+            assert tracer.open_request(f"r{i}") is not None
+
+    def test_keeps_every_nth_request(self, clock):
+        tr = Tracer(clock, sample_every=3)
+        kept = [tr.open_request(f"r{i}") is not None for i in range(7)]
+        assert kept == [True, False, False, True, False, False, True]
+
+    def test_dropped_request_spans_suppressed(self, clock):
+        tr = Tracer(clock, sample_every=2)
+        tr.open_request("keep")
+        tr.open_request("drop")
+        assert tr.record("kv", "get", request_id="drop") is None
+        assert tr.record("kv", "get", request_id="keep") is not None
+        tr.close_request("drop", "completed")  # no-op, no error
+        tr.close_request("keep", "completed")
+        assert all(s.request_id != "drop" for s in tr.spans)
+
+    def test_dropped_scope_suppresses_synchronous_children(self, clock):
+        tr = Tracer(clock, sample_every=2)
+        tr.open_request("keep")
+        tr.open_request("drop")
+        with tr.span("publish", "p", request_id="drop") as scope:
+            assert scope.span is None
+            # Children carry no request id — the drop scope must still
+            # suppress them, and its setters must be inert no-ops.
+            assert tr.record("transfer", "a->b") is None
+            scope.set(bytes=10)
+        assert tr.record("transfer", "a->b") is not None
+        assert len(tr) == 2  # keep's root + the post-scope transfer
+
+    def test_sampled_trace_is_deterministic(self, clock):
+        def run(tr):
+            for i in range(6):
+                tr.open_request(f"r{i}")
+                tr.record("kv", "get", request_id=f"r{i}")
+                tr.close_request(f"r{i}", "completed")
+            buf = io.StringIO()
+            tr.export(buf)
+            return buf.getvalue()
+
+        a = run(Tracer(VirtualClock(), sample_every=2))
+        b = run(Tracer(VirtualClock(), sample_every=2))
+        assert a == b
+        assert a != run(Tracer(VirtualClock()))  # sampling does drop spans
+
+
 class TestNullTracer:
     def test_is_disabled_and_inert(self):
         assert not NULL_TRACER.enabled
