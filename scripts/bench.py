@@ -16,8 +16,18 @@ host time (virtual time is free — these numbers say how fast the
 * ``solver_process_solves_per_s`` — the hour fan-out over forked worker
   *processes* (``parallel_backend="process"``), gated on the same
   serial-equality contract as the thread pool;
-* ``executor_events_per_s`` — simulation events per second through a
-  full Caribou run (executor + pubsub + KV + network);
+* ``executor_events_per_s`` — simulation events per second through the
+  *serving phase*: an open-loop arrival trace injected into a deployed
+  workflow, timed over the event-loop drain only (deploy and trace
+  generation excluded, so the number isolates the executor + pubsub +
+  KV + network hot path);
+* ``workload_gen_events_per_s`` — arrival-trace generation rate of
+  :func:`repro.data.workload.generate_arrivals` on a day-scale diurnal
+  spec;
+* ``fleet_solve_wall_s``    — wall seconds for one shared-cache
+  ``check_all`` cycle over a registered fleet (200 workflows, 24 in
+  smoke); *lower is better*, gated separately from the throughput
+  metrics;
 * ``mc_samples_per_s``      — Monte-Carlo simulation samples per second
   inside ``estimate_profile`` (measured by the phase profiler);
 * ``tracer_overhead_pct``   — wall-clock cost of running with a live
@@ -56,8 +66,18 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.apps import get_app  # noqa: E402
+from repro.apps.base import default_config  # noqa: E402
 from repro.cloud.provider import SimulatedCloud  # noqa: E402
-from repro.core.solver import SolverStats  # noqa: E402
+from repro.common.rng import RngRegistry  # noqa: E402
+from repro.core.deployer import DeploymentUtility  # noqa: E402
+from repro.core.fleet import FleetManager  # noqa: E402
+from repro.core.solver import SolverSettings, SolverStats  # noqa: E402
+from repro.data.workload import (  # noqa: E402
+    OpenLoopInjector,
+    WorkloadSpec,
+    generate_arrivals,
+    generate_trace,
+)
 from repro.experiments.harness import (  # noqa: E402
     BENCH_SOLVER_SETTINGS,
     deploy_benchmark,
@@ -80,7 +100,12 @@ THROUGHPUT_METRICS = (
     "solver_parallel_solves_per_s",
     "solver_process_solves_per_s",
     "solver_solves_per_s",
+    "workload_gen_events_per_s",
 )
+
+#: Metrics where *lower is better* (wall seconds); the regression gate
+#: fails when current exceeds ``baseline * max_regression``.
+LATENCY_METRICS = ("fleet_solve_wall_s",)
 
 APP = "text2speech_censoring"
 
@@ -104,7 +129,7 @@ def validate_bench(doc: Dict[str, Any]) -> List[str]:
     if not isinstance(metrics, dict):
         problems.append("metrics must be an object")
         metrics = {}
-    for name in THROUGHPUT_METRICS + (
+    for name in THROUGHPUT_METRICS + LATENCY_METRICS + (
         "tracer_overhead_pct",
         "tracer_sampled_overhead_pct",
     ):
@@ -115,7 +140,7 @@ def validate_bench(doc: Dict[str, Any]) -> List[str]:
         value = entry.get("value")
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             problems.append(f"metrics.{name}.value must be a number")
-        elif name in THROUGHPUT_METRICS and value <= 0:
+        elif name in THROUGHPUT_METRICS + LATENCY_METRICS and value <= 0:
             problems.append(f"metrics.{name}.value must be positive")
         if not isinstance(entry.get("unit"), str):
             problems.append(f"metrics.{name}.unit must be a string")
@@ -155,6 +180,17 @@ def check_regression(
         if ratio > max_regression:
             failures.append(
                 f"{name}: {cur:.1f} vs baseline {base:.1f} "
+                f"({ratio:.2f}x slower, limit {max_regression:.2f}x)"
+            )
+    for name in LATENCY_METRICS:
+        base = (base_metrics.get(name) or {}).get("value")
+        cur = (cur_metrics.get(name) or {}).get("value")
+        if not base or not cur:
+            continue
+        ratio = cur / base  # lower is better: slower means cur grows
+        if ratio > max_regression:
+            failures.append(
+                f"{name}: {cur:.2f}s vs baseline {base:.2f}s "
                 f"({ratio:.2f}x slower, limit {max_regression:.2f}x)"
             )
     return failures
@@ -318,23 +354,118 @@ def _timed_run(n_invocations: int, tracer: Optional[Tracer]) -> Dict[str, float]
 
 
 def bench_executor(smoke: bool) -> Dict[str, float]:
-    """Events/sec through a full run (deploy + solve + invoke)."""
+    """Events/sec through the serving phase.
+
+    Deploys once (untimed), generates an open-loop arrival trace
+    (untimed), injects it through :class:`OpenLoopInjector`, and times
+    the event-loop drain alone — the number measures how fast the
+    simulator serves traffic, not how fast it deploys or solves.
+    """
+    cloud = SimulatedCloud(seed=3)
     app = get_app(APP)
-    n = 6 if smoke else 24
-    t0 = time.perf_counter()
-    outcome = run_caribou(
-        app,
-        "small",
-        ("us-east-1", "ca-central-1"),
-        seed=3,
-        n_invocations=n,
+    _deployed, executor, _ = deploy_benchmark(app, cloud)
+    spec = WorkloadSpec(
+        base_rate_per_s=20.0,
+        duration_s=60.0 if smoke else 1200.0,
+        profile="steady",
     )
+    trace = generate_trace(spec, cloud.env.rng.get("bench.workload"))
+    injector = OpenLoopInjector(executor, trace)
+    injector.start()
+    env = cloud.env
+    before = env.events_executed
+    t0 = time.perf_counter()
+    env.run_until_idle()
     elapsed = time.perf_counter() - t0
-    events = float(outcome.events_executed or 0)
+    events = float(env.events_executed - before)
     return {
         "executor_events_per_s": events / max(elapsed, 1e-9),
         "executor_events": events,
+        "executor_requests": float(injector.injected),
         "executor_wall_s": elapsed,
+    }
+
+
+def bench_workload_gen(smoke: bool) -> Dict[str, float]:
+    """Arrival-trace generation rate on a day-scale diurnal spec."""
+    spec = WorkloadSpec(
+        base_rate_per_s=100.0 if smoke else 500.0,
+        duration_s=3600.0 if smoke else 14400.0,
+        profile="diurnal",
+    )
+    rng = RngRegistry(7).get("bench.workload_gen")
+    t0 = time.perf_counter()
+    times = generate_arrivals(spec, rng)
+    elapsed = time.perf_counter() - t0
+    return {
+        "workload_gen_events_per_s": len(times) / max(elapsed, 1e-9),
+        "workload_gen_events": float(len(times)),
+        "workload_gen_wall_s": elapsed,
+    }
+
+
+#: Fleet sizes for the shared-cache sweep bench.
+FLEET_SIZE = 200
+FLEET_SIZE_SMOKE = 24
+
+#: Small solver settings for the fleet sweep: each check solves one
+#: hour, so the sweep's wall clock is dominated by per-workflow fixed
+#: costs — exactly what the fleet layer's sharing is meant to amortise.
+FLEET_BENCH_SETTINGS = SolverSettings(
+    batch_size=30, max_samples=60, cov_threshold=0.2, alpha_per_node_region=2
+)
+
+
+def bench_fleet(smoke: bool) -> Dict[str, float]:
+    """Wall seconds for one shared-cache ``check_all`` cycle.
+
+    Registers ``FLEET_SIZE`` copies of the benchmark app (names
+    uniquified) under one :class:`FleetManager`, so every check shares
+    the fleet's evaluation-cache scopes and the daily forecast refits.
+    Each workflow gets a couple of warm-up requests first — a manager
+    only solves for workflows with observed invocations.
+    """
+    n = FLEET_SIZE_SMOKE if smoke else FLEET_SIZE
+    cloud = SimulatedCloud(seed=5)
+    utility = DeploymentUtility(cloud)
+    fleet = FleetManager(
+        cloud,
+        utility,
+        TransmissionScenario.best_case(),
+        solver_settings=FLEET_BENCH_SETTINGS,
+        use_forecast=False,
+        use_token_bucket=False,
+        fixed_granularity=1,
+    )
+    app = get_app(APP)
+    executors = []
+    for i in range(n):
+        workflow = app.build_workflow()
+        workflow.name = f"{workflow.name}-{i:03d}"
+        deployed, executor = utility.deploy(
+            workflow, default_config(benchmarking_fraction=0.0)
+        )
+        fleet.register(deployed, executor)
+        executors.append(executor)
+    for executor in executors:
+        for _ in range(2):
+            executor.invoke(app.make_input("small"), force_home=True)
+        cloud.env.run_until_idle()
+    t0 = time.perf_counter()
+    reports = fleet.check_all()
+    elapsed = time.perf_counter() - t0
+    solved = sum(1 for r in reports.values() if r.solved)
+    if solved != n:
+        raise RuntimeError(
+            f"fleet sweep solved {solved}/{n} workflows — the bench must "
+            "exercise one solve per registered workflow"
+        )
+    report = fleet.fleet_report()
+    return {
+        "fleet_solve_wall_s": elapsed,
+        "fleet_workflows": float(n),
+        "fleet_cache_estimates": float(report["cache_estimates"]),
+        "fleet_checks": float(report["checks"]),
     }
 
 
@@ -374,6 +505,8 @@ def run_bench(label: str, smoke: bool, jobs: int) -> Dict[str, Any]:
     """Run every workload and assemble the benchmark document."""
     units = {
         "executor_events_per_s": "events/s",
+        "fleet_solve_wall_s": "s",
+        "fleet_workflows": "workflows",
         "mc_samples_per_s": "samples/s",
         "solver_batched_solves_per_s": "solves/s",
         "solver_parallel_solves_per_s": "solves/s",
@@ -381,6 +514,7 @@ def run_bench(label: str, smoke: bool, jobs: int) -> Dict[str, Any]:
         "solver_solves_per_s": "solves/s",
         "tracer_overhead_pct": "%",
         "tracer_sampled_overhead_pct": "%",
+        "workload_gen_events_per_s": "events/s",
     }
     raw: Dict[str, float] = {}
     solver = bench_solver(smoke)
@@ -390,6 +524,8 @@ def run_bench(label: str, smoke: bool, jobs: int) -> Dict[str, Any]:
     raw.update(bench_batched_solver(smoke))
     raw.update(bench_process_solver(smoke, jobs))
     raw.update(bench_executor(smoke))
+    raw.update(bench_workload_gen(smoke))
+    raw.update(bench_fleet(smoke))
     raw.update(bench_tracer_overhead(smoke))
 
     metrics = {

@@ -292,6 +292,10 @@ class FaultInjector:
         Pure query — callers :meth:`record` when the outage actually
         blocks an operation.
         """
+        if not self._by_kind["region_outage"]:
+            # Hot path: every invocation/KV op asks; skip the generator
+            # machinery entirely when the plan has no outage rules.
+            return False
         return any(r.matches(region=region) for r in self._active("region_outage"))
 
     def invocation_fault(
@@ -303,6 +307,8 @@ class FaultInjector:
             ("invocation_failure", "failure"),
             ("invocation_timeout", "timeout"),
         ):
+            if not self._by_kind[kind]:
+                continue
             for rule in self._active(kind):
                 if rule.matches(workflow, function, region) and self._fires(rule):
                     self.record(kind)
@@ -313,6 +319,8 @@ class FaultInjector:
         self, workflow: str, function: str, region: str
     ) -> float:
         """Combined cold-start delay multiplier (1.0 when no spike)."""
+        if not self._by_kind["cold_start_spike"]:
+            return 1.0
         multiplier = 1.0
         for rule in self._active("cold_start_spike"):
             if rule.matches(workflow, function, region) and self._fires(rule):
@@ -323,6 +331,8 @@ class FaultInjector:
 
     def kv_error(self, region: str, workflow: str = "") -> bool:
         """Whether an injected KV error fires for one operation."""
+        if not self._by_kind["kv_error"]:
+            return False
         for rule in self._active("kv_error"):
             if rule.matches(workflow=workflow or None, region=region) and self._fires(rule):
                 self.record("kv_error")
@@ -331,6 +341,8 @@ class FaultInjector:
 
     def kv_latency_factor(self, region: str) -> float:
         """Latency multiplier for KV accesses to a store in ``region``."""
+        if not self._by_kind["kv_latency"]:
+            return 1.0
         factor = 1.0
         for rule in self._active("kv_latency"):
             if rule.matches(region=region) and self._fires(rule):
@@ -344,7 +356,7 @@ class FaultInjector:
 
         Pure query — callers :meth:`record` when a transfer is refused.
         """
-        if region_a == region_b:
+        if region_a == region_b or not self._by_kind["network_partition"]:
             return False
         return any(
             r.joins(region_a, region_b) for r in self._active("network_partition")

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExecutionRecord:
     """One function execution (Lambda log line + Insights metrics).
 
@@ -54,7 +54,7 @@ class ExecutionRecord:
         return self.start_s + self.duration_s
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransmissionRecord:
     """One inter- or intra-region data transfer.
 
@@ -77,7 +77,7 @@ class TransmissionRecord:
         return self.src_region == self.dst_region
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessagingRecord:
     """One pub/sub publish (SNS message, billed per publish)."""
 
@@ -89,7 +89,7 @@ class MessagingRecord:
     request_id: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KvAccessRecord:
     """One key-value store access (DynamoDB request unit)."""
 

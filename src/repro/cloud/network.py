@@ -73,6 +73,15 @@ class Network:
         self._intra_bw = intra_region_bandwidth
         self._jitter_std = jitter_std
         self._rng = env.rng.get("network")
+        # Per-instance instrument cache: transfers happen per message at
+        # open-loop rates and registry lookups (key formatting + dict
+        # get) are measurable there.
+        self._transfer_counters: dict = {}
+        self._ctr_egress = self._metrics.counter("network.egress_bytes")
+        self._hist_latency = self._metrics.histogram("network.transfer_latency_s")
+        self._hist_bytes = self._metrics.histogram(
+            "network.transfer_bytes", bounds=SIZE_BUCKETS
+        )
 
     def transfer_latency(
         self, src: str, dst: str, size_bytes: float, jitter: bool = True
@@ -126,13 +135,16 @@ class Network:
                 size_bytes=size_bytes,
                 transfer_kind=kind,
             )
-        self._metrics.counter("network.transfers", kind=kind).inc()
+        ctr = self._transfer_counters.get(kind)
+        if ctr is None:
+            ctr = self._transfer_counters[kind] = self._metrics.counter(
+                "network.transfers", kind=kind
+            )
+        ctr.inc()
         if src != dst:
-            self._metrics.counter("network.egress_bytes").inc(size_bytes)
-        self._metrics.histogram("network.transfer_latency_s").observe(latency)
-        self._metrics.histogram(
-            "network.transfer_bytes", bounds=SIZE_BUCKETS
-        ).observe(size_bytes)
+            self._ctr_egress.inc(size_bytes)
+        self._hist_latency.observe(latency)
+        self._hist_bytes.observe(size_bytes)
         self._ledger.record_transmission(
             TransmissionRecord(
                 workflow=workflow,

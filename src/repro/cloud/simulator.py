@@ -10,40 +10,99 @@ concurrent invocations) is expressed purely through event timestamps,
 which is exactly what the paper's end-to-end service-time accounting
 needs (§9.1: request received by the first function to the end of the
 last function).
+
+Hot-path design (the fleet-scale rebuild)
+-----------------------------------------
+The loop has to sustain 100k+ events/s so that a fleet of hundreds of
+workflows serving open-loop arrival traces stays simulable in wall-clock
+minutes.  Three choices carry that budget:
+
+* **Slotted event records.** Each scheduled event is a ``__slots__``
+  record of ``(time, state, action)``.  Heap entries are plain
+  ``(time, seq, record)`` tuples, so every heap comparison resolves on
+  the first two elements at C speed — ``seq`` is unique, the record is
+  never compared — instead of calling a dataclass ``__lt__``.
+
+* **Lazy-deletion cancellation with periodic compaction.** ``cancel()``
+  just flips the record's state; the entry stays in the heap and is
+  discarded when it surfaces.  Pub/sub retry timers are cancelled far
+  more often than they fire, so unreclaimed entries would grow the heap
+  unboundedly on long runs — once cancelled entries outnumber live ones
+  (past a small floor), the heap is compacted in place (one linear
+  filter + ``heapify``), bounding memory to O(live events).
+
+* **Batched same-timestamp dispatch.** ``run`` pops *all* events that
+  share the head timestamp under a single clock advance and a single
+  outer-loop iteration, instead of re-scanning the heap head and
+  re-notifying clock observers per event.  Events a callback schedules
+  at the current timestamp join the same batch after every
+  already-queued tie (their ``seq`` is higher), which is exactly the
+  FIFO order the serial loop produced — ordering is byte-identical to
+  the legacy loop (see ``repro.cloud._legacy_simulator`` and the
+  differential tests).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.common.clock import VirtualClock
 from repro.common.rng import RngRegistry
 from repro.obs.profile import profiled_phase
 
+#: Event lifecycle states (ints, not an Enum — the loop reads them
+#: millions of times and Enum attribute access costs ~10x).
+_PENDING = 0
+_CANCELLED = 1
+_EXECUTED = 2
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+#: Compaction floor: below this many cancelled entries the heap is left
+#: alone (rebuilding a tiny heap costs more than it frees).
+_COMPACT_MIN_CANCELLED = 64
+
+
+class _EventRecord:
+    """One scheduled event.  Slotted: the loop allocates one of these
+    per event, so per-instance dict overhead would dominate."""
+
+    __slots__ = ("time", "state", "action")
+
+    def __init__(self, time: float, action: Callable[[], None]):
+        self.time = time
+        self.state = _PENDING
+        self.action = action
 
 
 class EventHandle:
     """Handle returned by :meth:`SimulationEnvironment.schedule`.
 
     Allows cancelling a pending event (used e.g. by pub/sub retry timers
-    once an ack arrives).
+    once an ack arrives).  The handle tracks the full event lifecycle:
+    ``pending`` is True only until the event executes or is cancelled,
+    and :meth:`cancel` is a no-op on an event that already ran (it
+    returns False rather than silently "succeeding").
     """
 
-    def __init__(self, event: _Event):
-        self._event = event
+    __slots__ = ("_event", "_env")
 
-    def cancel(self) -> None:
-        self._event.cancelled = True
+    def __init__(self, event: _EventRecord, env: "SimulationEnvironment"):
+        self._event = event
+        self._env = env
+
+    def cancel(self) -> bool:
+        """Cancel the event if it is still pending.
+
+        Returns True when this call actually cancelled it; False when
+        the event had already executed or been cancelled (no-op).
+        """
+        event = self._event
+        if event.state != _PENDING:
+            return False
+        event.state = _CANCELLED
+        event.action = None  # drop the closure (and anything it captured)
+        self._env._note_cancelled()
+        return True
 
     @property
     def time(self) -> float:
@@ -51,7 +110,18 @@ class EventHandle:
 
     @property
     def pending(self) -> bool:
-        return not self._event.cancelled
+        """True while the event is scheduled and not yet run/cancelled."""
+        return self._event.state == _PENDING
+
+    @property
+    def executed(self) -> bool:
+        """True once the event's action has run."""
+        return self._event.state == _EXECUTED
+
+    @property
+    def cancelled(self) -> bool:
+        """True when the event was cancelled before running."""
+        return self._event.state == _CANCELLED
 
 
 class SimulationEnvironment:
@@ -60,9 +130,15 @@ class SimulationEnvironment:
     def __init__(self, seed: int = 0, clock: Optional[VirtualClock] = None):
         self.clock = clock if clock is not None else VirtualClock()
         self.rng = RngRegistry(seed)
-        self._queue: List[_Event] = []
-        self._seq = itertools.count()
+        # Heap of (time, seq, record): seq breaks timestamp ties FIFO
+        # and guarantees tuple comparison never reaches the record.
+        self._heap: List[Tuple[float, int, _EventRecord]] = []
+        self._next_seq = 0
         self._executed = 0
+        # Cancelled entries still buried in the heap (lazy deletion).
+        self._cancelled_in_heap = 0
+        #: Times the heap was compacted (observability / tests).
+        self.compactions = 0
 
     def now(self) -> float:
         """Current virtual time in seconds."""
@@ -73,37 +149,91 @@ class SimulationEnvironment:
         """Total events processed so far (useful for overhead accounting)."""
         return self._executed
 
+    @property
+    def heap_size(self) -> int:
+        """Entries currently in the heap, cancelled ones included."""
+        return len(self._heap)
+
+    @property
+    def pending_events(self) -> int:
+        """Live (schedulable) events currently in the heap."""
+        return len(self._heap) - self._cancelled_in_heap
+
     def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
         """Schedule ``action`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        return self.schedule_at(self.now() + delay, action)
+        # Inlined schedule_at: a non-negative delay from "now" can never
+        # land in the past, so skip the second clock read + range check
+        # (schedule is the hottest entry point — one call per message
+        # hop, watchdog, and retry timer).
+        event = _EventRecord(self.clock.now() + delay, action)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heapq.heappush(self._heap, (event.time, seq, event))
+        return EventHandle(event, self)
 
     def schedule_at(self, timestamp: float, action: Callable[[], None]) -> EventHandle:
         """Schedule ``action`` at an absolute virtual ``timestamp``."""
-        if timestamp < self.now():
+        if timestamp < self.clock.now():
             raise ValueError(
-                f"cannot schedule in the past: now={self.now()}, target={timestamp}"
+                f"cannot schedule in the past: now={self.clock.now()}, "
+                f"target={timestamp}"
             )
-        event = _Event(time=timestamp, seq=next(self._seq), action=action)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        event = _EventRecord(timestamp, action)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heapq.heappush(self._heap, (timestamp, seq, event))
+        return EventHandle(event, self)
 
+    # -- lazy deletion ---------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook for :meth:`EventHandle.cancel`: count the
+        dead entry and compact once the dead outnumber the living."""
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap >= _COMPACT_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (O(live) time).
+
+        In place (slice assignment), never rebinding ``self._heap``:
+        compaction fires from ``cancel()`` inside event actions, i.e.
+        while ``run`` is iterating a local alias of the heap — a rebind
+        would leave the loop draining a stale list and silently drop
+        every event scheduled afterwards.
+        """
+        self._heap[:] = [e for e in self._heap if e[2].state == _PENDING]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self.compactions += 1
+
+    # -- stepping ----------------------------------------------------------------
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next pending event, or None if idle."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        heap = self._heap
+        while heap and heap[0][2].state != _PENDING:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
+        return heap[0][0] if heap else None
 
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            time, _seq, event = heapq.heappop(heap)
+            if event.state != _PENDING:
+                self._cancelled_in_heap -= 1
                 continue
-            self.clock.advance_to(event.time)
+            self.clock.advance_to(time)
+            event.state = _EXECUTED
+            action = event.action
+            event.action = None
             self._executed += 1
-            event.action()
+            action()
             return True
         return False
 
@@ -117,27 +247,48 @@ class SimulationEnvironment:
             until: Absolute virtual time to stop at.  Events scheduled at
                 or before ``until`` still run; the clock is left at
                 ``until`` when the horizon is the binding constraint.
-            max_events: Safety valve for runaway simulations.
+            max_events: Safety valve for runaway simulations.  Counts
+                *executed* events only — skipped (cancelled) entries do
+                not consume budget.
 
         Returns:
             The number of events executed by this call.
         """
         executed = 0
+        budget = float("inf") if max_events is None else max_events
+        heap = self._heap
+        heappop = heapq.heappop
+        advance_to = self.clock.advance_to
         # One phase per run() call, not per event — the per-event cost of
         # a timer would dwarf many event actions and skew the numbers.
         with profiled_phase("sim.run"):
-            while True:
-                if max_events is not None and executed >= max_events:
+            while heap and executed < budget:
+                head_time, _seq, head_event = heap[0]
+                if head_event.state != _PENDING:
+                    heappop(heap)
+                    self._cancelled_in_heap -= 1
+                    continue
+                if until is not None and head_time > until:
                     break
-                next_time = self.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
-                executed += 1
-            if until is not None and self.now() < until:
-                self.clock.advance_to(until)
+                # Batched same-timestamp dispatch: one clock advance and
+                # one outer iteration cover every event tied at
+                # ``head_time`` — including ones their actions schedule
+                # at the same instant (higher seq => popped after every
+                # earlier tie, preserving FIFO exactly).
+                advance_to(head_time)
+                while heap and heap[0][0] == head_time and executed < budget:
+                    _, _, event = heappop(heap)
+                    if event.state != _PENDING:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    event.state = _EXECUTED
+                    action = event.action
+                    event.action = None
+                    self._executed += 1
+                    executed += 1
+                    action()
+            if until is not None and self.clock.now() < until:
+                advance_to(until)
         return executed
 
     def run_until_idle(self, max_events: int = 10_000_000) -> int:

@@ -176,6 +176,40 @@ class CaribouExecutor:
         self._spec_of_node: Dict[str, FunctionSpec] = {
             n.name: self._wf.function(n.function) for n in self._dag.nodes
         }
+        # Precompiled deadness-propagation plan: the same semantics as
+        # module-level :func:`propagate_dead` + Eq. 4.1 checks, but with
+        # the per-node annotation-class edge lists and string keys built
+        # once here instead of per annotation (``_annotate`` runs on
+        # every skip/invoke message, so the walks dominate at open-loop
+        # request rates).
+        start = self._dag.start_node
+        self._dead_plan: List[Tuple[str, Tuple[Tuple[str, str], ...]]] = []
+        for n in self._topo:
+            if n == start:
+                continue
+            ins = tuple(
+                (e.src, f"{e.src}->{e.dst}")
+                for e in self._dag.in_edges(n)
+                if (e.src, e.dst) in self._annotated_edges
+            )
+            if ins:
+                self._dead_plan.append((n, ins))
+        self._dead_out: Dict[str, Tuple[str, ...]] = {
+            n: tuple(
+                f"{e.src}->{e.dst}"
+                for e in self._dag.out_edges(n)
+                if (e.src, e.dst) in self._annotated_edges
+            )
+            for n, _ins in self._dead_plan
+        }
+        self._sync_nodes: Tuple[str, ...] = self._dag.sync_nodes
+        self._sync_in_keys: Dict[str, Tuple[str, ...]] = {
+            s: tuple(f"{e.src}->{e.dst}" for e in self._dag.in_edges(s))
+            for s in self._sync_nodes
+        }
+        self._sync_flags: Dict[str, str] = {
+            s: f"__invoked__:{s}" for s in self._sync_nodes
+        }
         # -- observability --------------------------------------------------
         self._tracer = getattr(deployed.cloud, "tracer", NULL_TRACER)
         self._metrics = getattr(deployed.cloud, "metrics", NULL_METRICS)
@@ -636,12 +670,22 @@ class CaribouExecutor:
             for key, value in marks.items():
                 # Explicit marks always win over propagated ones.
                 ann[key] = value
-            propagate_dead(self._dag, self._annotated_edges, ann, self._topo)
-            for s in self._dag.sync_nodes:
-                flag = f"__invoked__:{s}"
-                if ann.get(flag):
+            # Inlined propagate_dead over the precompiled plan (see
+            # __init__) — identical fixed-point semantics.
+            get = ann.get
+            dead: set = set()
+            for n, ins in self._dead_plan:
+                if all(get(k) == 0 or src in dead for src, k in ins):
+                    dead.add(n)
+            for n in dead:
+                for k in self._dead_out[n]:
+                    ann.setdefault(k, 0)
+            for s in self._sync_nodes:
+                flag = self._sync_flags[s]
+                if get(flag):
                     continue
-                if sync_condition_met(self._dag, ann, s):
+                values = [get(k) for k in self._sync_in_keys[s]]
+                if all(v is not None for v in values) and any(v == 1 for v in values):
                     ann[flag] = True
                     to_invoke.append(s)
             return ann
@@ -805,8 +849,14 @@ class CaribouExecutor:
             return False
         self._requests[rid] = status
         handle = self._watchdogs.pop(rid, None)
-        if handle is not None:
-            handle.cancel()
+        if handle is not None and handle.cancel():
+            # One cancelled entry per finished request: at open-loop
+            # arrival rates this is the simulator's dominant heap churn
+            # (the compaction machinery exists for exactly this), so
+            # keep it observable.
+            self._metrics.counter(
+                "executor.watchdogs_cancelled", workflow=self._d.name
+            ).inc()
         self._tracer.close_request(rid, status)
         self._metrics.counter(
             "executor.requests_finished", workflow=self._d.name, status=status

@@ -7,20 +7,37 @@ workflows", each with its own token bucket, metrics, and check cadence.
 self-rescheduling check chain per workflow, so a busy workflow is
 checked hourly while an idle one backs off to the daily cadence —
 independently, exactly as the sigmoid rule dictates per bucket.
+
+At fleet scale the managers stop being islands.  Three resources are
+shared across every registered workflow:
+
+* **Evaluation cache** — one
+  :class:`~repro.core.solver.SharedEvaluationCache` whose per-workflow
+  scopes keep Monte-Carlo results correct (digests hash plan content,
+  not learned metrics) while accounting rolls up fleet-wide.
+* **Carbon forecasts** — one
+  :class:`~repro.metrics.manager.CarbonForecastProvider`; forecasts are
+  per grid region, so the first manager to check each day pays for the
+  Holt-Winters refit and the other N-1 reuse it.
+* **Metrics registry** — the cloud's
+  :class:`~repro.obs.metrics.MetricsRegistry` already spans workflows;
+  :meth:`fleet_report` snapshots it alongside the cache and forecast
+  counters so one document describes the whole sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.cloud.provider import SimulatedCloud
 from repro.core.deployer import DeploymentUtility
 from repro.core.executor import CaribouExecutor, DeployedWorkflow
 from repro.core.manager import CheckReport, DeploymentManager
-from repro.core.solver import SolverSettings
+from repro.core.solver import SharedEvaluationCache, SolverSettings
 from repro.core.trigger import TriggerSettings
 from repro.metrics.carbon import TransmissionScenario
+from repro.metrics.manager import CarbonForecastProvider
 
 
 @dataclass
@@ -43,6 +60,8 @@ class FleetManager:
         solver_settings: SolverSettings = SolverSettings(),
         trigger_settings: TriggerSettings = TriggerSettings(),
         use_forecast: bool = True,
+        use_token_bucket: bool = True,
+        fixed_granularity: int = 24,
     ):
         self._cloud = cloud
         self._utility = utility
@@ -50,7 +69,14 @@ class FleetManager:
         self._solver_settings = solver_settings
         self._trigger_settings = trigger_settings
         self._use_forecast = use_forecast
+        self._use_token_bucket = use_token_bucket
+        self._fixed_granularity = fixed_granularity
         self._entries: Dict[str, FleetEntry] = {}
+        #: Fleet-shared solver cache; each manager solves against its
+        #: own scope (see SharedEvaluationCache for why not one flat map).
+        self.evaluation_cache = SharedEvaluationCache()
+        #: Fleet-shared daily forecasts (per grid region, fit once).
+        self.forecasts = CarbonForecastProvider(cloud.carbon_source)
 
     # -- registry ---------------------------------------------------------------
     def register(
@@ -67,6 +93,10 @@ class FleetManager:
             solver_settings=self._solver_settings,
             trigger_settings=self._trigger_settings,
             use_forecast=self._use_forecast,
+            use_token_bucket=self._use_token_bucket,
+            fixed_granularity=self._fixed_granularity,
+            forecasts=self.forecasts,
+            evaluation_cache=self.evaluation_cache.scope(deployed.name),
         )
         self._entries[deployed.name] = FleetEntry(
             deployed=deployed, executor=executor, manager=manager
@@ -75,6 +105,7 @@ class FleetManager:
 
     def unregister(self, workflow_name: str) -> None:
         self._entries.pop(workflow_name, None)
+        self.evaluation_cache.drop_scope(workflow_name)
 
     @property
     def workflows(self) -> Tuple[str, ...]:
@@ -103,11 +134,16 @@ class FleetManager:
 
         ``stagger_s`` offsets the first checks so simultaneous solves do
         not pile up at t=0 — the same reason the real framework spreads
-        workflow processing across its periodic sweep.
+        workflow processing across its periodic sweep.  Offsets wrap
+        within the horizon: with hundreds of workflows a raw
+        ``index * stagger_s`` would push tail workflows' first check
+        past ``duration_s`` and they would never be checked at all.
         """
+        if duration_s <= 0:
+            return
         for index, entry in enumerate(self._entries.values()):
             entry.manager.run_for(
-                duration_s, first_check_delay_s=index * stagger_s
+                duration_s, first_check_delay_s=(index * stagger_s) % duration_s
             )
 
     # -- reporting ------------------------------------------------------------------
@@ -125,3 +161,35 @@ class FleetManager:
                 )
             )
         return out
+
+    def fleet_report(self) -> Dict[str, Any]:
+        """Fleet-level rollup for the run report's ``fleet`` section.
+
+        Deterministic (no wall-clock values): counters here derive from
+        virtual-time control activity only, so reports embedding this
+        stay byte-stable across machines.
+        """
+        checks = solves = migrations = 0
+        invocations = 0
+        for entry in self._entries.values():
+            manager = entry.manager
+            checks += len(manager.reports)
+            solves += sum(1 for r in manager.reports if r.solved)
+            migrations += sum(
+                1
+                for r in manager.reports
+                if r.migration is not None and r.migration.activated
+            )
+            invocations += sum(r.invocations_in_period for r in manager.reports)
+        return {
+            "cache_estimates": self.evaluation_cache.estimates_cached,
+            "cache_invalidations": self.evaluation_cache.invalidations,
+            "cache_profiles": self.evaluation_cache.profiles_cached,
+            "cache_scopes": self.evaluation_cache.scopes,
+            "checks": checks,
+            "forecast_version": self.forecasts.version,
+            "invocations_observed": invocations,
+            "migrations": migrations,
+            "solves": solves,
+            "workflows": len(self._entries),
+        }

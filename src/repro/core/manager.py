@@ -36,7 +36,7 @@ from repro.metrics.accounting import CarbonAccountant
 from repro.metrics.carbon import CarbonModel, TransmissionScenario
 from repro.metrics.cost import CostModel
 from repro.metrics.latency import TransferLatencyModel
-from repro.metrics.manager import MetricsManager
+from repro.metrics.manager import CarbonForecastProvider, MetricsManager
 from repro.model.plan import HourlyPlanSet
 
 #: How long a generated plan set stays valid before traffic falls back
@@ -84,6 +84,9 @@ class DeploymentManager:
         plan_lifetime_s: float = DEFAULT_PLAN_LIFETIME_S,
         use_token_bucket: bool = True,
         use_forecast: bool = True,
+        fixed_granularity: int = 24,
+        forecasts: Optional[CarbonForecastProvider] = None,
+        evaluation_cache: Optional[EvaluationCache] = None,
     ):
         self._d = deployed
         self._executor = executor
@@ -93,12 +96,21 @@ class DeploymentManager:
         self._plan_lifetime = plan_lifetime_s
         self._use_token_bucket = use_token_bucket
         self._use_forecast = use_forecast
+        if not 1 <= fixed_granularity <= 24:
+            raise ValueError(
+                f"fixed_granularity must be in [1, 24], got {fixed_granularity}"
+            )
+        #: Plans per day solved in fixed-frequency mode (Fig. 13's
+        #: sensitivity axis; also lets a fleet bench bound per-check
+        #: solver work without the token bucket in the way).
+        self._fixed_granularity = fixed_granularity
 
         self.metrics = MetricsManager(
             deployed.dag,
             deployed.config,
             self._cloud.ledger,
             self._cloud.carbon_source,
+            forecasts=forecasts,
         )
         for spec in deployed.workflow.functions:
             if spec.external_data is not None:
@@ -130,8 +142,12 @@ class DeploymentManager:
         #: so stale entries are dropped exactly when metrics/forecasts
         #: actually changed (§5.2 checks often re-solve a barely-moved
         #: problem — discarding the cache each time wasted most of the
-        #: previous solve's Monte-Carlo work).
-        self.evaluation_cache = EvaluationCache()
+        #: previous solve's Monte-Carlo work).  A fleet passes each
+        #: manager its scope of a
+        #: :class:`~repro.core.solver.SharedEvaluationCache` here.
+        self.evaluation_cache = (
+            evaluation_cache if evaluation_cache is not None else EvaluationCache()
+        )
         #: Cumulative solver counters across this manager's lifetime.
         self.solver_stats = SolverStats()
         # §5.2: a token is "the carbon intensity differential between
@@ -249,7 +265,7 @@ class DeploymentManager:
                     migration = self._solve_and_migrate(granularity, now)
                     solved = True
             else:
-                granularity = 24
+                granularity = self._fixed_granularity
                 migration = self._solve_and_migrate(granularity, now)
                 solved = True
         if not solved:
@@ -334,7 +350,10 @@ class DeploymentManager:
             return
         now_hour = int(now // SECONDS_PER_HOUR)
         for region in self._cloud.regions:
-            self.metrics.forecasts.refit(region, now_hour)
+            # maybe_refit dedups same-day fits, so when the provider is
+            # shared across a fleet only the first manager to check each
+            # day pays for the Holt-Winters grid search per region.
+            self.metrics.forecasts.maybe_refit(region, now_hour)
         self._last_forecast_day = day
 
     def _realized_savings(self, since_s: float, until_s: float) -> float:

@@ -16,6 +16,7 @@ from repro.core.solver.coarse import CoarseSolver
 from repro.core.solver.evaluation import (
     EvaluationCache,
     PlanEvaluator,
+    SharedEvaluationCache,
     SolverSettings,
     SolverStats,
 )
@@ -24,6 +25,7 @@ from repro.core.solver.hbss import HBSSSolver, SolveResult, resolve_jobs
 
 __all__ = [
     "EvaluationCache",
+    "SharedEvaluationCache",
     "PlanEvaluator",
     "SolverSettings",
     "SolverStats",

@@ -263,6 +263,67 @@ class EvaluationCache:
             return len(self._estimates)
 
 
+class SharedEvaluationCache:
+    """Fleet-wide cache facade: one accounting surface, per-workflow scopes.
+
+    Plan digests hash plan *content* only, so two workflows with
+    identical DAG shapes can collide on a digest while their learned
+    metrics — and therefore the correct profiles — differ.  Sharing one
+    flat :class:`EvaluationCache` across a fleet would silently serve
+    workflow A's Monte-Carlo results to workflow B.  Instead the fleet
+    shares this object and each :class:`~repro.core.manager.DeploymentManager`
+    gets its own *scope* (a plain ``EvaluationCache``): entries stay
+    correct per workflow, while capacity accounting, invalidation
+    counts, and observability roll up fleet-wide.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._scopes: Dict[str, EvaluationCache] = {}
+
+    def scope(self, name: str) -> EvaluationCache:
+        """The (created-on-first-use) cache scope for one workflow."""
+        with self._lock:
+            cache = self._scopes.get(name)
+            if cache is None:
+                cache = self._scopes[name] = EvaluationCache()
+            return cache
+
+    def drop_scope(self, name: str) -> None:
+        with self._lock:
+            self._scopes.pop(name, None)
+
+    def clear_all(self) -> None:
+        """Drop every scope's entries (versions are kept)."""
+        with self._lock:
+            scopes = list(self._scopes.values())
+        for cache in scopes:
+            cache.clear()
+
+    @property
+    def scopes(self) -> int:
+        with self._lock:
+            return len(self._scopes)
+
+    @property
+    def profiles_cached(self) -> int:
+        with self._lock:
+            scopes = list(self._scopes.values())
+        return sum(c.profiles_cached for c in scopes)
+
+    @property
+    def estimates_cached(self) -> int:
+        with self._lock:
+            scopes = list(self._scopes.values())
+        return sum(c.estimates_cached for c in scopes)
+
+    @property
+    def invalidations(self) -> int:
+        with self._lock:
+            scopes = list(self._scopes.values())
+        return sum(c.invalidations for c in scopes)
+
+
 class PlanEvaluator:
     """Answers metric/tolerance queries over a shared evaluation cache.
 

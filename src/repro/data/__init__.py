@@ -13,6 +13,13 @@ from repro.data.latency import LatencySource
 from repro.data.pricing import PricingSource
 from repro.data.regions import NORTH_AMERICA, Region, get_region
 from repro.data.traces import InvocationTrace, azure_like_trace
+from repro.data.workload import (
+    ArrivalTrace,
+    OpenLoopInjector,
+    WorkloadSpec,
+    generate_arrivals,
+    generate_trace,
+)
 
 __all__ = [
     "Region",
@@ -24,4 +31,9 @@ __all__ = [
     "LatencySource",
     "InvocationTrace",
     "azure_like_trace",
+    "WorkloadSpec",
+    "ArrivalTrace",
+    "OpenLoopInjector",
+    "generate_arrivals",
+    "generate_trace",
 ]

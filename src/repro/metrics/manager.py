@@ -102,6 +102,22 @@ class CarbonForecastProvider:
         self.version += 1
         return True
 
+    def maybe_refit(self, region: str, now_hour: int) -> bool:
+        """Refit only when the existing fit is from an earlier day.
+
+        The dedup that makes one provider shareable across a fleet: 200
+        Deployment Managers each request a daily refit, but the grid
+        search behind :class:`~repro.metrics.forecast.HoltWintersForecaster`
+        is the expensive part of a check cycle, and for a given region
+        and day every manager would fit the *same* week of history.  The
+        first caller of the day pays; the rest see a same-day fit and
+        return immediately.
+        """
+        fit_hour = self._fit_hour.get(region)
+        if fit_hour is not None and fit_hour // 24 == now_hour // 24:
+            return False
+        return self.refit(region, now_hour)
+
     def forecast_at(self, region: str, hour: int) -> float:
         """Forecast intensity for absolute ``hour``.
 
@@ -131,6 +147,7 @@ class MetricsManager:
         carbon_source: CarbonIntensitySource,
         max_invocations: int = MAX_INVOCATIONS,
         retention_days: int = RETENTION_DAYS,
+        forecasts: Optional[CarbonForecastProvider] = None,
     ):
         self._dag = dag
         self._config = config
@@ -138,7 +155,14 @@ class MetricsManager:
         self._carbon = carbon_source
         self._max_invocations = max_invocations
         self._retention_s = retention_days * SECONDS_PER_DAY
-        self.forecasts = CarbonForecastProvider(carbon_source)
+        # Forecasts are per *grid region*, not per workflow, so a fleet
+        # passes one shared provider here and every manager prices
+        # future hours off the same daily Holt-Winters fits.
+        self.forecasts = (
+            forecasts
+            if forecasts is not None
+            else CarbonForecastProvider(carbon_source)
+        )
 
         self._invocations: "OrderedDict[str, InvocationSummary]" = OrderedDict()
         self._info_counts: Dict[Tuple, int] = {}

@@ -81,6 +81,11 @@ class WorkflowDAG:
         self._edges: Dict[Tuple[str, str], Edge] = {}
         self._graph = nx.DiGraph()
         self._validated = False
+        # Memoised per-node edge tuples: the executor asks for the same
+        # in/out edges on every message of every request, and walking
+        # the networkx views per call is measurable at open-loop rates.
+        self._in_edges_memo: Dict[str, Tuple[Edge, ...]] = {}
+        self._out_edges_memo: Dict[str, Tuple[Edge, ...]] = {}
 
     # -- construction -------------------------------------------------------
     def add_node(self, node: Node) -> None:
@@ -89,6 +94,8 @@ class WorkflowDAG:
         self._nodes[node.name] = node
         self._graph.add_node(node.name)
         self._validated = False
+        self._in_edges_memo.clear()
+        self._out_edges_memo.clear()
 
     def add_edge(self, edge: Edge) -> None:
         if edge.src not in self._nodes:
@@ -106,6 +113,8 @@ class WorkflowDAG:
         self._edges[(edge.src, edge.dst)] = edge
         self._graph.add_edge(edge.src, edge.dst)
         self._validated = False
+        self._in_edges_memo.clear()
+        self._out_edges_memo.clear()
 
     def validate(self) -> None:
         """Check the §4 structural rules; raise on violation."""
@@ -178,16 +187,22 @@ class WorkflowDAG:
         return tuple(n for n in self._nodes if self._graph.out_degree(n) == 0)
 
     def in_edges(self, node: str) -> Tuple[Edge, ...]:
-        self.node(node)
-        return tuple(
-            self._edges[(u, v)] for u, v in self._graph.in_edges(node)
-        )
+        cached = self._in_edges_memo.get(node)
+        if cached is None:
+            self.node(node)
+            cached = self._in_edges_memo[node] = tuple(
+                self._edges[(u, v)] for u, v in self._graph.in_edges(node)
+            )
+        return cached
 
     def out_edges(self, node: str) -> Tuple[Edge, ...]:
-        self.node(node)
-        return tuple(
-            self._edges[(u, v)] for u, v in self._graph.out_edges(node)
-        )
+        cached = self._out_edges_memo.get(node)
+        if cached is None:
+            self.node(node)
+            cached = self._out_edges_memo[node] = tuple(
+                self._edges[(u, v)] for u, v in self._graph.out_edges(node)
+            )
+        return cached
 
     def predecessors(self, node: str) -> Tuple[str, ...]:
         self.node(node)
@@ -199,8 +214,7 @@ class WorkflowDAG:
 
     def is_sync_node(self, node: str) -> bool:
         """A node with more than one incoming edge (§4)."""
-        self.node(node)
-        return self._graph.in_degree(node) > 1
+        return len(self.in_edges(node)) > 1
 
     @property
     def sync_nodes(self) -> Tuple[str, ...]:

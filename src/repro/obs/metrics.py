@@ -30,6 +30,11 @@ DEFAULT_BUCKETS = (
 def _key(name: str, labels: Dict[str, str]) -> str:
     if not labels:
         return name
+    if len(labels) == 1:
+        # The overwhelmingly common shape (one region= or workflow=
+        # label) — skip the sort/join machinery on the hot path.
+        [(k, v)] = labels.items()
+        return f"{name}{{{k}={v}}}"
     inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
 

@@ -31,6 +31,7 @@ REPORT_SCHEMA = "caribou.run_report/v1"
 #: Top-level keys every report document carries, in sorted order.
 REPORT_KEYS = (
     "critical_path",
+    "fleet",
     "metrics",
     "per_region",
     "reliability",
@@ -209,6 +210,12 @@ class RunReport:
             for key in sorted(solver):
                 lines.append(f"- **{key}**: {solver[key]}")
 
+        fleet = doc.get("fleet")
+        if fleet:
+            lines += ["", "## Fleet", ""]
+            for key in sorted(fleet):
+                lines.append(f"- **{key}**: {fleet[key]}")
+
         metrics = doc.get("metrics") or {}
         if metrics:
             lines += [
@@ -253,12 +260,15 @@ def _pct(value: Optional[float]) -> str:
 def build_run_report(
     outcome,
     trace: Optional[Union[Tracer, Sequence[Span]]] = None,
+    fleet: Optional[Dict[str, Any]] = None,
 ) -> RunReport:
     """Assemble the report for one harness :class:`RunOutcome`.
 
     ``trace`` (a live tracer or reloaded span list) enables the
     critical-path section; without it the section is ``None`` and the
     run itself is untouched — reporting never perturbs a simulation.
+    ``fleet`` (a :meth:`~repro.core.fleet.FleetManager.fleet_report`
+    rollup) enables the fleet section for sweep runs.
     """
     run = {
         "app": outcome.app_name,
@@ -313,6 +323,7 @@ def build_run_report(
     doc = _sanitize(
         {
             "critical_path": critical_path,
+            "fleet": fleet,
             "metrics": outcome.metrics or {},
             "per_region": outcome.per_region or {},
             "reliability": reliability,

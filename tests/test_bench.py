@@ -126,6 +126,8 @@ def _valid_doc() -> dict:
         name: {"unit": "x/s", "value": 100.0}
         for name in bench.THROUGHPUT_METRICS
     }
+    for name in bench.LATENCY_METRICS:
+        metrics[name] = {"unit": "s", "value": 10.0}
     metrics["tracer_overhead_pct"] = {"unit": "%", "value": 1.5}
     metrics["tracer_sampled_overhead_pct"] = {"unit": "%", "value": 0.3}
     return {
@@ -200,6 +202,17 @@ class TestRegressionGate:
         failures = bench.check_regression(current, _valid_doc(), 2.0)
         assert len(failures) == 1
         assert "executor_events_per_s" in failures[0]
+
+    def test_latency_metric_gated_lower_is_better(self):
+        # Wall-clock metrics fail when they GROW past the limit...
+        current = copy.deepcopy(_valid_doc())
+        current["metrics"]["fleet_solve_wall_s"]["value"] = 25.0
+        failures = bench.check_regression(current, _valid_doc(), 2.0)
+        assert len(failures) == 1
+        assert "fleet_solve_wall_s" in failures[0]
+        # ...and shrinking is an improvement, never a regression.
+        current["metrics"]["fleet_solve_wall_s"]["value"] = 1.0
+        assert bench.check_regression(current, _valid_doc(), 2.0) == []
 
     def test_exactly_at_limit_passes(self):
         current = copy.deepcopy(_valid_doc())

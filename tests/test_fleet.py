@@ -114,3 +114,87 @@ class TestOperation:
             for m in (manager.manager_for(n) for n in manager.workflows)
         ]
         assert len(set(round(t, 3) for t in first_times)) == len(first_times)
+
+
+def _build_fleet(n, seed=91, app_name="dna_visualization", **manager_kwargs):
+    """A fleet of ``n`` uniquified copies of one app under one manager."""
+    from repro.apps.base import default_config
+
+    cloud = SimulatedCloud(seed=seed)
+    utility = DeploymentUtility(cloud)
+    manager = FleetManager(
+        cloud, utility, TransmissionScenario.best_case(),
+        solver_settings=FAST, use_forecast=False,
+        use_token_bucket=False, fixed_granularity=1,
+        **manager_kwargs,
+    )
+    app = get_app(app_name)
+    executors = []
+    for i in range(n):
+        workflow = app.build_workflow()
+        workflow.name = f"{workflow.name}-{i:03d}"
+        deployed, executor = utility.deploy(
+            workflow, default_config(benchmarking_fraction=0.0)
+        )
+        manager.register(deployed, executor)
+        executors.append(executor)
+    return cloud, manager, app, executors
+
+
+class TestFleetScale:
+    """Hundred-workflow sweeps: the stagger-wrap regression and one
+    shared-cache ``check_all`` cycle across the whole fleet."""
+
+    def test_stagger_wraps_so_every_workflow_is_checked(self):
+        # Regression: a raw ``index * stagger_s`` first-check offset put
+        # workflow #24 onward past the one-day horizon (24 * 1h = the
+        # full day), so most of a 100-workflow fleet was never checked.
+        cloud, manager, _app, _executors = _build_fleet(
+            100,
+            trigger_settings=TriggerSettings(
+                min_check_period_s=SECONDS_PER_DAY,
+                max_check_period_s=SECONDS_PER_DAY,
+            ),
+        )
+        manager.run_for(SECONDS_PER_DAY, stagger_s=SECONDS_PER_HOUR)
+        cloud.run_until_idle()
+        unchecked = [
+            name for name in manager.workflows
+            if not manager.manager_for(name).reports
+        ]
+        assert unchecked == []
+        first_times = [
+            manager.manager_for(name).reports[0].time_s
+            for name in manager.workflows
+        ]
+        assert max(first_times) < SECONDS_PER_DAY
+        # The wrap folds offsets onto a 24-slot cycle, four workflows
+        # per slot — not 100 distinct offsets, and never a pile-up of
+        # the whole tail at the horizon.
+        assert len(set(first_times)) == 24
+
+    def test_shared_cache_sweep_solves_whole_fleet(self):
+        n = 100
+        cloud, manager, app, executors = _build_fleet(n, seed=92)
+        # A manager only solves for workflows with observed traffic.
+        for executor in executors:
+            for _ in range(2):
+                executor.invoke(app.make_input("small"), force_home=True)
+            cloud.run_until_idle()
+        reports = manager.check_all()
+        assert len(reports) == n
+        assert all(r.solved for r in reports.values())
+        fleet = manager.fleet_report()
+        assert fleet["workflows"] == n
+        assert fleet["checks"] == n
+        assert fleet["solves"] == n
+        assert fleet["invocations_observed"] == 2 * n
+        # One evaluation-cache scope per workflow, all behind the single
+        # shared accounting surface.
+        assert manager.evaluation_cache.scopes == n
+        assert fleet["cache_scopes"] == n
+        assert fleet["cache_estimates"] > 0
+        # Unregistering drops exactly that workflow's scope.
+        victim = manager.workflows[0]
+        manager.unregister(victim)
+        assert manager.evaluation_cache.scopes == n - 1
