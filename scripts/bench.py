@@ -71,7 +71,12 @@ from repro.cloud.provider import SimulatedCloud  # noqa: E402
 from repro.common.rng import RngRegistry  # noqa: E402
 from repro.core.deployer import DeploymentUtility  # noqa: E402
 from repro.core.fleet import FleetManager  # noqa: E402
-from repro.core.solver import SolverSettings, SolverStats  # noqa: E402
+from repro.core.solver import (  # noqa: E402
+    ExactSolver,
+    HBSSSolver,
+    SolverSettings,
+    SolverStats,
+)
 from repro.data.workload import (  # noqa: E402
     OpenLoopInjector,
     WorkloadSpec,
@@ -80,12 +85,14 @@ from repro.data.workload import (  # noqa: E402
 )
 from repro.experiments.harness import (  # noqa: E402
     BENCH_SOLVER_SETTINGS,
+    build_plan_evaluator,
     deploy_benchmark,
     run_caribou,
     solve_plan_set,
     warm_up,
 )
 from repro.metrics.carbon import TransmissionScenario  # noqa: E402
+from repro.model.config import Tolerances  # noqa: E402
 from repro.obs.profile import Profiler, set_profiler  # noqa: E402
 from repro.obs.trace import Tracer  # noqa: E402
 
@@ -107,7 +114,20 @@ THROUGHPUT_METRICS = (
 #: fails when current exceeds ``baseline * max_regression``.
 LATENCY_METRICS = ("fleet_solve_wall_s",)
 
+#: Solver-quality metrics (percentage points, lower is better).  The
+#: HBSS optimality gap sits at ~0 pp on a healthy solver, so a ratio
+#: gate is meaningless — the gate is *absolute*: current may exceed the
+#: baseline by at most ``--max-quality-regression-pp`` points.
+QUALITY_METRICS = ("hbss_carbon_gap_pct",)
+
+#: Default absolute slack for the quality gate, in percentage points.
+MAX_QUALITY_REGRESSION_PP = 2.0
+
 APP = "text2speech_censoring"
+
+#: Apps and latency-tolerance sweep for the solver-quality stage.
+QUALITY_APPS = ("rag_ingestion", "text2speech_censoring", "video_analytics")
+QUALITY_TOLERANCES = (None, 0.25, 0.05)
 
 
 def validate_bench(doc: Dict[str, Any]) -> List[str]:
@@ -129,7 +149,7 @@ def validate_bench(doc: Dict[str, Any]) -> List[str]:
     if not isinstance(metrics, dict):
         problems.append("metrics must be an object")
         metrics = {}
-    for name in THROUGHPUT_METRICS + LATENCY_METRICS + (
+    for name in THROUGHPUT_METRICS + LATENCY_METRICS + QUALITY_METRICS + (
         "tracer_overhead_pct",
         "tracer_sampled_overhead_pct",
     ):
@@ -142,6 +162,10 @@ def validate_bench(doc: Dict[str, Any]) -> List[str]:
             problems.append(f"metrics.{name}.value must be a number")
         elif name in THROUGHPUT_METRICS + LATENCY_METRICS and value <= 0:
             problems.append(f"metrics.{name}.value must be positive")
+        elif name in QUALITY_METRICS and value < -1e-6:
+            # exact is a proven lower bound; a *negative* gap means the
+            # heuristic beat the optimum — i.e. the exact solver broke.
+            problems.append(f"metrics.{name}.value must be non-negative")
         if not isinstance(entry.get("unit"), str):
             problems.append(f"metrics.{name}.unit must be a string")
     phases = doc.get("phases")
@@ -159,6 +183,7 @@ def check_regression(
     current: Dict[str, Any],
     baseline: Dict[str, Any],
     max_regression: float,
+    max_quality_pp: float = MAX_QUALITY_REGRESSION_PP,
 ) -> List[str]:
     """Compare throughput metrics against a baseline document.
 
@@ -167,6 +192,11 @@ def check_regression(
     machine, so the gate is deliberately loose — it exists to catch
     order-of-magnitude accidents (an O(n^2) slip, a hot path suddenly
     allocating), not 10 % jitter.
+
+    Quality metrics (``QUALITY_METRICS``) gate differently: they are
+    deterministic (seeded virtual-time solves, no wall clock involved)
+    and sit near zero, so the gate is an absolute percentage-point
+    ceiling — current may exceed baseline by at most ``max_quality_pp``.
     """
     failures: List[str] = []
     base_metrics = baseline.get("metrics", {})
@@ -192,6 +222,16 @@ def check_regression(
             failures.append(
                 f"{name}: {cur:.2f}s vs baseline {base:.2f}s "
                 f"({ratio:.2f}x slower, limit {max_regression:.2f}x)"
+            )
+    for name in QUALITY_METRICS:
+        base = (base_metrics.get(name) or {}).get("value")
+        cur = (cur_metrics.get(name) or {}).get("value")
+        if base is None or cur is None:
+            continue
+        if cur > base + max_quality_pp:
+            failures.append(
+                f"{name}: {cur:.3f} pp vs baseline {base:.3f} pp "
+                f"(exceeds absolute slack of {max_quality_pp:.2f} pp)"
             )
     return failures
 
@@ -473,6 +513,63 @@ def bench_fleet(smoke: bool) -> Dict[str, float]:
 TRACE_SAMPLE_EVERY = 8
 
 
+def bench_solver_quality(smoke: bool) -> Dict[str, float]:
+    """HBSS optimality gap vs the branch-and-bound exact optimum.
+
+    For each (app, latency-tolerance) case, both solvers run against
+    *one shared evaluator* — same learned metrics, same per-plan RNG
+    substreams, same cache — so every per-plan metric is bit-identical
+    across solvers and the measured gap is purely search quality:
+
+        gap_pct = (hbss_carbon - exact_carbon) / exact_carbon * 100
+
+    The whole stage is deterministic (seeded virtual-time runs, no wall
+    clock in the numbers), which is what lets CI pin it with an
+    absolute percentage-point gate instead of a loose speed ratio.
+    """
+    apps = QUALITY_APPS[:2] if smoke else QUALITY_APPS
+    tolerances = QUALITY_TOLERANCES[:2] if smoke else QUALITY_TOLERANCES
+    hours = [0] if smoke else [0, 12]
+    gaps: List[float] = []
+    for app_name in apps:
+        for tol in tolerances:
+            cloud = SimulatedCloud(seed=11)
+            app = get_app(app_name)
+            deployed, executor, _ = deploy_benchmark(
+                app,
+                cloud,
+                tolerances=None if tol is None else Tolerances(latency=tol),
+            )
+            warm_up(executor, app, "small", n=6)
+            evaluator = build_plan_evaluator(
+                deployed, TransmissionScenario.best_case()
+            )
+            hbss = HBSSSolver(
+                evaluator,
+                cloud.env.rng.get(f"solver:{deployed.name}"),
+                rng_factory=lambda h: cloud.env.rng.get(
+                    f"solver:{deployed.name}:hour={h}"
+                ),
+            )
+            hbss_set, _ = hbss.solve_day(hours)
+            exact_set = ExactSolver(evaluator).solve_day(hours)
+            for hour in hours:
+                hbss_carbon = evaluator.estimate(
+                    hbss_set.plan_for_hour(hour), hour
+                ).mean_carbon_g
+                exact_carbon = evaluator.estimate(
+                    exact_set.plan_for_hour(hour), hour
+                ).mean_carbon_g
+                gaps.append(
+                    (hbss_carbon - exact_carbon) / exact_carbon * 100.0
+                )
+    return {
+        "hbss_carbon_gap_pct": sum(gaps) / len(gaps),
+        "hbss_carbon_gap_max_pct": max(gaps),
+        "hbss_quality_cases": float(len(gaps)),
+    }
+
+
 def bench_tracer_overhead(smoke: bool) -> Dict[str, float]:
     """Traced vs untraced wall clock, best-of-3 each — once with the
     full tracer and once with request sampling
@@ -507,6 +604,9 @@ def run_bench(label: str, smoke: bool, jobs: int) -> Dict[str, Any]:
         "executor_events_per_s": "events/s",
         "fleet_solve_wall_s": "s",
         "fleet_workflows": "workflows",
+        "hbss_carbon_gap_pct": "%",
+        "hbss_carbon_gap_max_pct": "%",
+        "hbss_quality_cases": "cases",
         "mc_samples_per_s": "samples/s",
         "solver_batched_solves_per_s": "solves/s",
         "solver_parallel_solves_per_s": "solves/s",
@@ -526,6 +626,7 @@ def run_bench(label: str, smoke: bool, jobs: int) -> Dict[str, Any]:
     raw.update(bench_executor(smoke))
     raw.update(bench_workload_gen(smoke))
     raw.update(bench_fleet(smoke))
+    raw.update(bench_solver_quality(smoke))
     raw.update(bench_tracer_overhead(smoke))
 
     metrics = {
@@ -554,6 +655,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-regression", type=float, default=2.0,
                         help="fail if any throughput metric is this many "
                              "times slower than baseline (default 2.0)")
+    parser.add_argument("--max-quality-regression-pp", type=float,
+                        default=MAX_QUALITY_REGRESSION_PP,
+                        help="fail if a solver-quality metric (percentage "
+                             "points, e.g. hbss_carbon_gap_pct) exceeds the "
+                             "baseline by more than this absolute slack "
+                             f"(default {MAX_QUALITY_REGRESSION_PP})")
     parser.add_argument("--update-baseline", action="store_true",
                         help="write the result to BENCH_baseline.json")
     parser.add_argument("--out-dir", default=str(REPO_ROOT),
@@ -603,7 +710,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             for problem in base_problems:
                 print(f"BASELINE INVALID: {problem}", file=sys.stderr)
             return 2
-        failures = check_regression(doc, baseline, args.max_regression)
+        failures = check_regression(
+            doc, baseline, args.max_regression,
+            max_quality_pp=args.max_quality_regression_pp,
+        )
         if failures:
             for failure in failures:
                 print(f"REGRESSION: {failure}", file=sys.stderr)

@@ -96,6 +96,9 @@ def _solver_settings(args: argparse.Namespace):
     wave = getattr(args, "wave", None)
     if wave:
         settings = dataclasses.replace(settings, wave_size=wave)
+    solver = getattr(args, "solver", None)
+    if solver:
+        settings = dataclasses.replace(settings, solver=solver)
     return settings
 
 
@@ -282,6 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker pool flavour for the hour fan-out "
                             "(default thread); 'process' forks worker "
                             "processes and returns the identical plan set")
+    p_run.add_argument("--solver", choices=("hbss", "coarse", "exhaustive", "exact"),
+                       default=None,
+                       help="search strategy (default hbss; 'exact' runs the "
+                            "provably-optimal branch-and-bound)")
     p_run.add_argument("--wave", type=int, default=None,
                        help="HBSS candidate wave size: evaluate this many "
                             "fresh candidates per batched kernel call "
@@ -307,6 +314,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker pool flavour for the hour fan-out "
                               "(default thread); 'process' forks worker "
                               "processes and returns the identical plan set")
+    p_solve.add_argument("--solver", choices=("hbss", "coarse", "exhaustive", "exact"),
+                       default=None,
+                       help="search strategy (default hbss; 'exact' runs the "
+                            "provably-optimal branch-and-bound)")
     p_solve.add_argument("--wave", type=int, default=None,
                          help="HBSS candidate wave size: evaluate this many "
                               "fresh candidates per batched kernel call "

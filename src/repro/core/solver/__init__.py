@@ -10,6 +10,9 @@ both are provided as baselines for comparison and ablation:
 * :class:`~repro.core.solver.hbss.HBSSSolver`
 * :class:`~repro.core.solver.coarse.CoarseSolver`
 * :class:`~repro.core.solver.exhaustive.ExhaustiveSolver`
+* :class:`~repro.core.solver.exact.ExactSolver` — provably optimal
+  branch-and-bound with admissible per-node lower bounds; tractable for
+  mid-size spaces where exhaustive enumeration refuses
 """
 
 from repro.core.solver.coarse import CoarseSolver
@@ -20,6 +23,7 @@ from repro.core.solver.evaluation import (
     SolverSettings,
     SolverStats,
 )
+from repro.core.solver.exact import ExactSolver, LowerBoundTables
 from repro.core.solver.exhaustive import ExhaustiveSolver
 from repro.core.solver.hbss import HBSSSolver, SolveResult, resolve_jobs
 
@@ -33,5 +37,7 @@ __all__ = [
     "SolveResult",
     "CoarseSolver",
     "ExhaustiveSolver",
+    "ExactSolver",
+    "LowerBoundTables",
     "resolve_jobs",
 ]

@@ -62,6 +62,12 @@ class SolverSettings:
     drop-in equivalent.  ``batched_evaluation`` gates the batched kernel
     itself: when False, wave candidates fall back to per-plan profile
     builds (bit-identical values — the differential tests rely on it).
+
+    ``solver`` picks which search strategy the harness/CLI runs:
+    ``"hbss"`` (Alg. 1, the production default), ``"coarse"``
+    (single-region), ``"exhaustive"`` (full enumeration, refuses >100k
+    plans), or ``"exact"`` (provably optimal branch-and-bound, see
+    :mod:`repro.core.solver.exact`).
     """
 
     batch_size: int = 100
@@ -75,6 +81,7 @@ class SolverSettings:
     parallel_backend: str = "thread"
     wave_size: int = 1
     batched_evaluation: bool = True
+    solver: str = "hbss"
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0 or self.max_samples <= 0:
@@ -107,6 +114,11 @@ class SolverSettings:
             raise ValueError(
                 f"wave_size must be positive, got {self.wave_size}"
             )
+        if self.solver not in ("hbss", "coarse", "exhaustive", "exact"):
+            raise ValueError(
+                f"solver must be one of 'hbss', 'coarse', 'exhaustive', "
+                f"'exact', got {self.solver!r}"
+            )
 
 
 @dataclass
@@ -136,6 +148,13 @@ class SolverStats:
             hour-independent :class:`PlanProfile` re-pricing contract.
         estimates_computed / estimate_cache_hits: Per-(plan, hour)
             estimate misses vs hits.
+        bnb_nodes_expanded / bnb_nodes_pruned: Branch-and-bound search
+            states expanded vs cut by the admissible bound
+            (:class:`~repro.core.solver.exact.ExactSolver` only; zero
+            for every other solver).
+        bnb_hours_solved: Hour solves the exact solver completed;
+            divides ``bnb_bound_tightness_pct`` (a cumulative sum of
+            per-hour root-bound/optimum ratios) into an average.
         wall_time_s: Solver time spent inside ``solve_hour`` calls.
     """
 
@@ -145,6 +164,10 @@ class SolverStats:
     profile_cache_hits: int = 0
     estimates_computed: int = 0
     estimate_cache_hits: int = 0
+    bnb_nodes_expanded: int = 0
+    bnb_nodes_pruned: int = 0
+    bnb_hours_solved: int = 0
+    bnb_bound_tightness_pct: float = 0.0
     wall_time_s: float = 0.0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -158,6 +181,10 @@ class SolverStats:
         "profile_cache_hits",
         "estimates_computed",
         "estimate_cache_hits",
+        "bnb_nodes_expanded",
+        "bnb_nodes_pruned",
+        "bnb_hours_solved",
+        "bnb_bound_tightness_pct",
         "wall_time_s",
     )
 
@@ -189,7 +216,7 @@ class SolverStats:
         hit_rate = (
             self.profile_cache_hits / total_profile if total_profile else 0.0
         )
-        return (
+        line = (
             f"{self.simulations_run} simulations "
             f"({self.samples_drawn} samples), "
             f"{self.profiles_built} profiles built, "
@@ -198,6 +225,14 @@ class SolverStats:
             f"({self.estimate_cache_hits} cached), "
             f"solver wall time {self.wall_time_s:.2f}s"
         )
+        if self.bnb_hours_solved:
+            tightness = self.bnb_bound_tightness_pct / self.bnb_hours_solved
+            line += (
+                f", B&B {self.bnb_nodes_expanded} expanded / "
+                f"{self.bnb_nodes_pruned} pruned "
+                f"(bound tightness {tightness:.0f}%)"
+            )
+        return line
 
 
 class EvaluationCache:
@@ -380,6 +415,10 @@ class PlanEvaluator:
         self._intensity_fn = intensity_fn
         self._kv_region = kv_region or config.home_region
         self._client_region = client_region or config.home_region
+        self._data = data
+        self._carbon_model = carbon_model
+        self._cost_model = cost_model
+        self._latency_model = latency_model
         self._estimator = MonteCarloEstimator(
             dag,
             data,
@@ -406,6 +445,37 @@ class PlanEvaluator:
                 )
             self._permitted[node] = allowed
         self.regions = tuple(regions)
+
+    # -- model access (read-only; the exact solver's bound tables price
+    # -- minimum-support contributions through the same models the
+    # -- Monte-Carlo kernel uses) --------------------------------------------
+    @property
+    def data(self) -> WorkflowModelData:
+        return self._data
+
+    @property
+    def carbon_model(self) -> CarbonModel:
+        return self._carbon_model
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+    @property
+    def latency_model(self) -> TransferLatencyModel:
+        return self._latency_model
+
+    @property
+    def kv_region(self) -> str:
+        return self._kv_region
+
+    @property
+    def client_region(self) -> str:
+        return self._client_region
+
+    def intensity(self, region: str, hour: int) -> float:
+        """The grid intensity the estimate cache prices with."""
+        return self._intensity_fn(region, hour)
 
     # -- candidate space -----------------------------------------------------
     def permitted_regions(self, node: str) -> Tuple[str, ...]:

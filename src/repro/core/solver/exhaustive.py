@@ -17,6 +17,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.common.errors import SolverError
 from repro.core.solver.evaluation import PlanEvaluator
+from repro.core.solver.exact import BOUND_SAFETY, LowerBoundTables
 from repro.core.solver.hbss import resolve_jobs
 from repro.core.solver.parallel import process_map
 from repro.metrics.montecarlo import WorkflowEstimate
@@ -36,6 +37,7 @@ class ExhaustiveSolver:
     def __init__(self, evaluator: PlanEvaluator, max_plans: int = DEFAULT_MAX_PLANS):
         self._ev = evaluator
         self._max_plans = max_plans
+        self._bounds: Optional[LowerBoundTables] = None
 
     def solve_hour(
         self, hour: int, enforce_tolerances: bool = True
@@ -54,14 +56,57 @@ class ExhaustiveSolver:
             DeploymentPlan(dict(zip(nodes, combo)))
             for combo in itertools.product(*domains)
         ]
+        # When tolerances are enforced, cheap admissible lower bounds
+        # (see :class:`~repro.core.solver.exact.LowerBoundTables`) cut
+        # plans that *provably* violate a §9.4 threshold before any
+        # Monte-Carlo work: every sample — hence every p95 tail — of
+        # such a plan is at least its bound, so skipping it can never
+        # change the winner.  Without the filter, every dead plan was
+        # fully simulated just to be discarded by ``tolerance_violated``.
+        tol = ev.config.tolerances
+        if enforce_tolerances and tol is not None and not (
+            tol.latency is None and tol.carbon is None and tol.cost is None
+        ):
+            if self._bounds is None:
+                self._bounds = LowerBoundTables(ev)
+            base = ev.baseline(hour)
+            thr_latency = (
+                base.tail_latency_s * (1.0 + tol.latency)
+                if tol.latency is not None
+                else float("inf")
+            )
+            thr_carbon = (
+                base.tail_carbon_g * (1.0 + tol.carbon)
+                if tol.carbon is not None
+                else float("inf")
+            )
+            thr_cost = (
+                base.tail_cost_usd * (1.0 + tol.cost)
+                if tol.cost is not None
+                else float("inf")
+            )
+            candidates = []
+            for plan in all_plans:
+                carbon_lb, cost_lb, lat_lb = self._bounds.plan_lower_bounds(
+                    plan, hour
+                )
+                if (
+                    carbon_lb * BOUND_SAFETY > thr_carbon
+                    or cost_lb * BOUND_SAFETY > thr_cost
+                    or lat_lb * BOUND_SAFETY > thr_latency
+                ):
+                    continue
+                candidates.append(plan)
+        else:
+            candidates = all_plans
         # Prefetch profiles in bounded waves through the cross-plan
-        # batched kernel — every plan gets ranked below anyway, so this
-        # only front-loads (and batches) the simulation work.
-        for lo in range(0, len(all_plans), PREFETCH_WAVE):
-            ev.prefetch_profiles(all_plans[lo : lo + PREFETCH_WAVE])
+        # batched kernel — every surviving plan gets ranked below
+        # anyway, so this only front-loads (and batches) the work.
+        for lo in range(0, len(candidates), PREFETCH_WAVE):
+            ev.prefetch_profiles(candidates[lo : lo + PREFETCH_WAVE])
         best_plan: Optional[DeploymentPlan] = None
         best_metric = float("inf")
-        for plan in all_plans:
+        for plan in candidates:
             if enforce_tolerances and ev.tolerance_violated(plan, hour):
                 continue
             metric = ev.metric(plan, hour)

@@ -28,7 +28,15 @@ from repro.common.clock import SECONDS_PER_DAY
 from repro.core.deployer import DeploymentUtility
 from repro.core.executor import CaribouExecutor, DeployedWorkflow
 from repro.core.migrator import DeploymentMigrator
-from repro.core.solver import HBSSSolver, PlanEvaluator, SolverSettings, SolverStats
+from repro.core.solver import (
+    CoarseSolver,
+    ExactSolver,
+    ExhaustiveSolver,
+    HBSSSolver,
+    PlanEvaluator,
+    SolverSettings,
+    SolverStats,
+)
 from repro.metrics.accounting import CarbonAccountant
 from repro.metrics.carbon import CarbonModel, TransmissionScenario
 from repro.metrics.cost import CostModel
@@ -187,7 +195,58 @@ def solve_plan_set(
     run (``"thread"`` or ``"process"``; ``None`` defers to
     ``solver_settings.parallel_backend``); each hour draws from its own
     registry substream, so the returned plan set is identical for any
-    worker count or backend."""
+    worker count or backend.
+
+    ``solver_settings.solver`` picks the search strategy — ``"hbss"``
+    (default), ``"coarse"``, ``"exhaustive"``, or ``"exact"`` (the
+    branch-and-bound optimum)."""
+    evaluator = build_plan_evaluator(
+        deployed,
+        scenario,
+        solver_settings=solver_settings,
+        intensity_fn=intensity_fn,
+        stats=stats,
+    )
+    cloud = deployed.cloud
+    which = solver_settings.solver
+    if which == "coarse":
+        return CoarseSolver(evaluator).solve_day(
+            hours, jobs=jobs, backend=backend
+        )
+    if which == "exhaustive":
+        return ExhaustiveSolver(evaluator).solve_day(
+            hours, jobs=jobs, backend=backend
+        )
+    if which == "exact":
+        return ExactSolver(evaluator).solve_day(
+            hours, jobs=jobs, backend=backend
+        )
+    solver = HBSSSolver(
+        evaluator,
+        cloud.env.rng.get(f"solver:{deployed.name}"),
+        tracer=cloud.tracer,
+        metrics=cloud.metrics,
+        rng_factory=lambda h: cloud.env.rng.get(
+            f"solver:{deployed.name}:hour={h}"
+        ),
+    )
+    plan_set, _ = solver.solve_day(hours, jobs=jobs, backend=backend)
+    return plan_set
+
+
+def build_plan_evaluator(
+    deployed: DeployedWorkflow,
+    scenario: TransmissionScenario,
+    solver_settings: SolverSettings = BENCH_SOLVER_SETTINGS,
+    intensity_fn=None,
+    stats: Optional[SolverStats] = None,
+) -> PlanEvaluator:
+    """The :class:`PlanEvaluator` ``solve_plan_set`` solves over:
+    learned metrics collected now, week-averaged diurnal intensities,
+    and the workflow's registered external-data declarations.  Exposed
+    so ablations (e.g. the solver-quality bench) can run several
+    solvers against one shared evaluator — shared cache, shared RNG
+    substreams, bit-identical per-plan metrics across solvers."""
     cloud = deployed.cloud
     metrics = MetricsManager(
         deployed.dag, deployed.config, cloud.ledger, cloud.carbon_source
@@ -207,7 +266,7 @@ def solve_plan_set(
         def intensity_fn(region: str, hour: int) -> float:  # noqa: F811
             return float(profiles[region][hour % 24])
 
-    evaluator = PlanEvaluator(
+    return PlanEvaluator(
         dag=deployed.dag,
         config=deployed.config,
         data=metrics,
@@ -222,17 +281,6 @@ def solve_plan_set(
         settings=solver_settings,
         stats=stats,
     )
-    solver = HBSSSolver(
-        evaluator,
-        cloud.env.rng.get(f"solver:{deployed.name}"),
-        tracer=cloud.tracer,
-        metrics=cloud.metrics,
-        rng_factory=lambda h: cloud.env.rng.get(
-            f"solver:{deployed.name}:hour={h}"
-        ),
-    )
-    plan_set, _ = solver.solve_day(hours, jobs=jobs, backend=backend)
-    return plan_set
 
 
 # --------------------------------------------------------------------------- runs

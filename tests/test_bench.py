@@ -130,6 +130,8 @@ def _valid_doc() -> dict:
         metrics[name] = {"unit": "s", "value": 10.0}
     metrics["tracer_overhead_pct"] = {"unit": "%", "value": 1.5}
     metrics["tracer_sampled_overhead_pct"] = {"unit": "%", "value": 0.3}
+    for name in bench.QUALITY_METRICS:
+        metrics[name] = {"unit": "%", "value": 0.5}
     return {
         "app": "text2speech_censoring",
         "label": "test",
@@ -228,6 +230,46 @@ class TestRegressionGate:
         current = copy.deepcopy(_valid_doc())
         del current["metrics"]["solver_solves_per_s"]
         assert bench.check_regression(current, _valid_doc(), 2.0) == []
+
+    def test_quality_gap_regression_fails_absolutely(self):
+        # An injected HBSS quality regression (gap grows past the
+        # absolute percentage-point slack) must fail the gate even
+        # though the ratio vs a near-zero baseline is meaningless.
+        current = copy.deepcopy(_valid_doc())
+        baseline = _valid_doc()
+        baseline["metrics"]["hbss_carbon_gap_pct"]["value"] = 0.0
+        current["metrics"]["hbss_carbon_gap_pct"]["value"] = 2.5
+        failures = bench.check_regression(current, baseline, 2.0)
+        assert len(failures) == 1
+        assert "hbss_carbon_gap_pct" in failures[0]
+
+    def test_quality_gap_within_slack_passes(self):
+        current = copy.deepcopy(_valid_doc())
+        baseline = _valid_doc()
+        baseline["metrics"]["hbss_carbon_gap_pct"]["value"] = 0.0
+        current["metrics"]["hbss_carbon_gap_pct"]["value"] = 1.9
+        assert bench.check_regression(current, baseline, 2.0) == []
+        # The slack is configurable: tighten it and the same gap fails.
+        failures = bench.check_regression(
+            current, baseline, 2.0, max_quality_pp=1.0
+        )
+        assert len(failures) == 1
+
+    def test_quality_gap_improvement_passes(self):
+        current = copy.deepcopy(_valid_doc())
+        baseline = _valid_doc()
+        baseline["metrics"]["hbss_carbon_gap_pct"]["value"] = 3.0
+        current["metrics"]["hbss_carbon_gap_pct"]["value"] = 0.0
+        assert bench.check_regression(current, baseline, 2.0) == []
+
+    def test_negative_quality_gap_invalid(self):
+        # exact is a proven optimum: HBSS "beating" it means the exact
+        # solver broke, which validation (not the gate) must surface.
+        doc = copy.deepcopy(_valid_doc())
+        doc["metrics"]["hbss_carbon_gap_pct"]["value"] = -0.5
+        assert any(
+            "hbss_carbon_gap_pct" in p for p in bench.validate_bench(doc)
+        )
 
 
 # ------------------------------------------------------------------- CLI
