@@ -35,7 +35,12 @@ host time (virtual time is free — these numbers say how fast the
   best-of-3 each to shed scheduler noise;
 * ``tracer_sampled_overhead_pct`` — the same comparison with request
   sampling (``Tracer(sample_every=8)``), the cheap way to keep traces
-  on hot paths.
+  on hot paths;
+* ``telemetry_overhead_pct``  — events/s cost of a live
+  :class:`~repro.obs.timeseries.WindowedSampler` on the serving phase,
+  gated by an absolute ceiling (5 % by default) and paired with
+  byte-identity aborts on the windowed series (same seed twice, and
+  serial vs thread-fan-out solves).
 
 Results are written as ``BENCH_<label>.json`` (schema
 ``caribou.bench/v1``) and optionally compared against a committed
@@ -94,6 +99,11 @@ from repro.experiments.harness import (  # noqa: E402
 from repro.metrics.carbon import TransmissionScenario  # noqa: E402
 from repro.model.config import Tolerances  # noqa: E402
 from repro.obs.profile import Profiler, set_profiler  # noqa: E402
+from repro.obs.timeseries import (  # noqa: E402
+    TelemetryConfig,
+    WindowedSampler,
+    series_to_jsonl,
+)
 from repro.obs.trace import Tracer  # noqa: E402
 
 #: Schema identifier embedded in every benchmark document.
@@ -123,6 +133,14 @@ QUALITY_METRICS = ("hbss_carbon_gap_pct",)
 #: Default absolute slack for the quality gate, in percentage points.
 MAX_QUALITY_REGRESSION_PP = 2.0
 
+#: Overhead metrics gated by an *absolute ceiling* (percent), not a
+#: baseline ratio: windowed telemetry must stay within this share of
+#: the untelemetered ``executor_events_per_s``, whatever the machine.
+OVERHEAD_METRICS = ("telemetry_overhead_pct",)
+
+#: Default ceiling for the telemetry-overhead gate, in percent.
+MAX_TELEMETRY_OVERHEAD_PCT = 5.0
+
 APP = "text2speech_censoring"
 
 #: Apps and latency-tolerance sweep for the solver-quality stage.
@@ -150,6 +168,8 @@ def validate_bench(doc: Dict[str, Any]) -> List[str]:
         problems.append("metrics must be an object")
         metrics = {}
     for name in THROUGHPUT_METRICS + LATENCY_METRICS + QUALITY_METRICS + (
+        OVERHEAD_METRICS
+    ) + (
         "tracer_overhead_pct",
         "tracer_sampled_overhead_pct",
     ):
@@ -184,6 +204,7 @@ def check_regression(
     baseline: Dict[str, Any],
     max_regression: float,
     max_quality_pp: float = MAX_QUALITY_REGRESSION_PP,
+    max_overhead_pct: float = MAX_TELEMETRY_OVERHEAD_PCT,
 ) -> List[str]:
     """Compare throughput metrics against a baseline document.
 
@@ -232,6 +253,17 @@ def check_regression(
             failures.append(
                 f"{name}: {cur:.3f} pp vs baseline {base:.3f} pp "
                 f"(exceeds absolute slack of {max_quality_pp:.2f} pp)"
+            )
+    for name in OVERHEAD_METRICS:
+        # Absolute ceiling, baseline-independent: telemetry that costs
+        # more than the ceiling is broken on *any* machine.
+        cur = (cur_metrics.get(name) or {}).get("value")
+        if cur is None:
+            continue
+        if cur > max_overhead_pct:
+            failures.append(
+                f"{name}: {cur:.2f}% exceeds the absolute ceiling of "
+                f"{max_overhead_pct:.2f}%"
             )
     return failures
 
@@ -598,6 +630,116 @@ def bench_tracer_overhead(smoke: bool) -> Dict[str, float]:
     }
 
 
+def _serving_run(
+    smoke: bool, window_s: Optional[float]
+) -> Dict[str, Any]:
+    """One open-loop serving run (the ``bench_executor`` shape), with
+    an optional windowed sampler attached.  Returns events/s plus the
+    sampler's series dump for determinism checks."""
+    cloud = SimulatedCloud(seed=3)
+    app = get_app(APP)
+    _deployed, executor, _ = deploy_benchmark(app, cloud)
+    spec = WorkloadSpec(
+        base_rate_per_s=20.0,
+        duration_s=60.0 if smoke else 1200.0,
+        profile="steady",
+    )
+    trace = generate_trace(spec, cloud.env.rng.get("bench.workload"))
+    sampler = None
+    if window_s is not None:
+        sampler = WindowedSampler(cloud.metrics, window_s=window_s)
+        sampler.attach(cloud.env)
+    injector = OpenLoopInjector(executor, trace)
+    injector.start()
+    env = cloud.env
+    before = env.events_executed
+    t0 = time.perf_counter()
+    env.run_until_idle()
+    elapsed = time.perf_counter() - t0
+    series = ""
+    windows = 0
+    if sampler is not None:
+        sampler.close()
+        series = sampler.to_jsonl()
+        windows = sampler.windows_flushed
+    return {
+        "events_per_s": float(env.events_executed - before)
+        / max(elapsed, 1e-9),
+        "series": series,
+        "windows": windows,
+    }
+
+
+def bench_telemetry(smoke: bool, jobs: int) -> Dict[str, float]:
+    """Windowed-telemetry overhead and determinism on the serving path.
+
+    Overhead: the ``bench_executor`` workload with a live
+    :class:`WindowedSampler` vs without, best-of-3 each;
+    ``telemetry_overhead_pct`` is the events/s cost in percent and is
+    gated by an *absolute* ceiling (``MAX_TELEMETRY_OVERHEAD_PCT``) —
+    sampling happens only at window boundaries, so the hot path should
+    not notice it at all.
+
+    Determinism (abort, not a metric — mirroring the solver benches'
+    bit-identity contracts): two same-seed telemetered serving runs
+    must dump byte-identical series, and a full Caribou run's merged
+    series must be byte-identical between the serial solver and the
+    thread fan-out (``jobs``) on one seed.
+    """
+    window_s = 10.0 if smoke else 60.0
+    repeats = 3
+    base = max(
+        _serving_run(smoke, window_s=None)["events_per_s"]
+        for _ in range(repeats)
+    )
+    telemetered_runs = [
+        _serving_run(smoke, window_s=window_s) for _ in range(repeats)
+    ]
+    telemetered = max(r["events_per_s"] for r in telemetered_runs)
+    first_series = telemetered_runs[0]["series"]
+    for run in telemetered_runs[1:]:
+        if run["series"] != first_series:
+            raise RuntimeError(
+                "telemetered serving runs on one seed dumped different "
+                "series — windowed sampling determinism violated"
+            )
+    if telemetered_runs[0]["windows"] == 0:
+        raise RuntimeError(
+            "telemetered serving run flushed no windows — the sampler "
+            "never fired and the overhead number is meaningless"
+        )
+
+    telemetry = TelemetryConfig(window_s=3600.0)
+    app = get_app(APP)
+    serial = run_caribou(
+        app, "small", ("us-east-1", "ca-central-1"), seed=3,
+        n_invocations=4 if smoke else 12, telemetry=telemetry,
+    )
+    threaded = run_caribou(
+        app, "small", ("us-east-1", "ca-central-1"), seed=3,
+        n_invocations=4 if smoke else 12, telemetry=telemetry,
+        jobs=jobs, backend="thread",
+    )
+    serial_dump = series_to_jsonl(serial.series or [])
+    threaded_dump = series_to_jsonl(threaded.series or [])
+    if serial_dump != threaded_dump:
+        raise RuntimeError(
+            f"telemetry series differ between serial and jobs={jobs} "
+            "thread solves on one seed — windowed sampling must be "
+            "backend-invariant"
+        )
+    if not serial.series:
+        raise RuntimeError("telemetered Caribou run produced no series")
+
+    overhead = (base - telemetered) / max(base, 1e-9) * 100.0
+    return {
+        "telemetry_overhead_pct": overhead,
+        "telemetry_windows": float(telemetered_runs[0]["windows"]),
+        "telemetry_points": float(len(serial.series)),
+        "telemetry_window_s": window_s,
+    }
+
+
 def run_bench(label: str, smoke: bool, jobs: int) -> Dict[str, Any]:
     """Run every workload and assemble the benchmark document."""
     units = {
@@ -612,6 +754,10 @@ def run_bench(label: str, smoke: bool, jobs: int) -> Dict[str, Any]:
         "solver_parallel_solves_per_s": "solves/s",
         "solver_process_solves_per_s": "solves/s",
         "solver_solves_per_s": "solves/s",
+        "telemetry_overhead_pct": "%",
+        "telemetry_points": "points",
+        "telemetry_window_s": "s",
+        "telemetry_windows": "windows",
         "tracer_overhead_pct": "%",
         "tracer_sampled_overhead_pct": "%",
         "workload_gen_events_per_s": "events/s",
@@ -628,6 +774,7 @@ def run_bench(label: str, smoke: bool, jobs: int) -> Dict[str, Any]:
     raw.update(bench_fleet(smoke))
     raw.update(bench_solver_quality(smoke))
     raw.update(bench_tracer_overhead(smoke))
+    raw.update(bench_telemetry(smoke, jobs))
 
     metrics = {
         name: {"unit": units.get(name, "s" if name.endswith("_s") else ""),
@@ -661,6 +808,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "points, e.g. hbss_carbon_gap_pct) exceeds the "
                              "baseline by more than this absolute slack "
                              f"(default {MAX_QUALITY_REGRESSION_PP})")
+    parser.add_argument("--max-telemetry-overhead-pct", type=float,
+                        default=MAX_TELEMETRY_OVERHEAD_PCT,
+                        help="fail if windowed telemetry costs more than "
+                             "this percent of executor_events_per_s "
+                             f"(absolute; default {MAX_TELEMETRY_OVERHEAD_PCT})")
     parser.add_argument("--update-baseline", action="store_true",
                         help="write the result to BENCH_baseline.json")
     parser.add_argument("--out-dir", default=str(REPO_ROOT),
@@ -713,6 +865,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         failures = check_regression(
             doc, baseline, args.max_regression,
             max_quality_pp=args.max_quality_regression_pp,
+            max_overhead_pct=args.max_telemetry_overhead_pct,
         )
         if failures:
             for failure in failures:

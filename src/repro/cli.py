@@ -37,8 +37,17 @@ from repro.experiments.harness import (
 )
 from repro.metrics.carbon import TransmissionScenario
 from repro.obs.critical_path import analyze_trace, render_critical_path
+from repro.obs.dash import render_dashboard
+from repro.obs.diffrun import diff_runs
 from repro.obs.render import load_jsonl, render_trace_summary
-from repro.obs.report import RunReport, build_run_report
+from repro.obs.report import RunReport, build_run_report, fleet_markdown_lines
+from repro.obs.slo import DEFAULT_SLOS, parse_slo
+from repro.obs.timeseries import (
+    DEFAULT_WINDOW_S,
+    TelemetryConfig,
+    export_series,
+    load_series_jsonl,
+)
 from repro.obs.trace import Tracer
 
 
@@ -102,6 +111,26 @@ def _solver_settings(args: argparse.Namespace):
     return settings
 
 
+def _telemetry_config(args: argparse.Namespace) -> Optional[TelemetryConfig]:
+    """Build the run's :class:`TelemetryConfig` from CLI flags.
+
+    Any of ``--timeseries``/``--slo``/``--export-prom`` turns the
+    windowed pipeline on; without them the run schedules no telemetry
+    events at all (the byte-identical no-telemetry path).
+    """
+    slo_args = args.slo or []
+    wants = args.timeseries or args.export_prom or slo_args
+    if not wants:
+        return None
+    slos = []
+    for raw in slo_args:
+        if raw == "":  # bare --slo: the stock objectives
+            slos.extend(DEFAULT_SLOS)
+        else:
+            slos.append(parse_slo(raw))
+    return TelemetryConfig(window_s=args.window, slos=tuple(slos))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     app = get_app(args.app)
     regions = _parse_regions(args.regions)
@@ -116,11 +145,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         if (args.trace or args.report)
         else None
     )
+    telemetry = _telemetry_config(args)
     if args.coarse:
         outcome = run_coarse(
             app, args.size, args.coarse, seed=args.seed,
             n_invocations=args.invocations, fault_plan=fault_plan,
-            tracer=tracer,
+            tracer=tracer, telemetry=telemetry,
         )
     else:
         outcome = run_caribou(
@@ -128,6 +158,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             n_invocations=args.invocations, fault_plan=fault_plan,
             tracer=tracer, jobs=args.jobs, backend=args.backend,
             solver_settings=_solver_settings(args),
+            telemetry=telemetry,
         )
     print(f"{outcome.label}: {outcome.n_invocations} invocations")
     print(f"  mean service time : {outcome.mean_service_time_s:8.3f} s")
@@ -156,10 +187,100 @@ def cmd_run(args: argparse.Namespace) -> int:
             fh.write("\n")
         n = len(outcome.metrics or {})
         print(f"  metrics           : {n} instruments -> {args.metrics}")
+    if args.timeseries:
+        export_series(
+            outcome.series or [], args.timeseries,
+            window_s=outcome.series_window_s or args.window,
+        )
+        print(
+            f"  timeseries        : {len(outcome.series or [])} points -> "
+            f"{args.timeseries}"
+        )
+    if args.export_prom:
+        with open(args.export_prom, "w", encoding="utf-8") as fh:
+            fh.write(outcome.prom or "")
+        print(f"  prometheus        : -> {args.export_prom}")
+    if outcome.slo:
+        for entry in outcome.slo:
+            status = "OK  " if entry["met"] else "MISS"
+            print(
+                f"  slo [{status}]        : {entry['name']} "
+                f"({entry['violations']}/{entry['windows']} windows "
+                f"violating, {len(entry['alerts'])} alerts)"
+            )
     if args.report:
         report = build_run_report(outcome, trace=tracer)
         report.export(args.report)
         print(f"  report            : -> {args.report}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Compare two run artifacts (reports or series dumps)."""
+    print(diff_runs(args.a, args.b), end="")
+    return 0
+
+
+def cmd_dash(args: argparse.Namespace) -> int:
+    """Render the offline terminal dashboard for a series dump, with
+    SLO budget lines when a run report is supplied alongside."""
+    points, window_s = load_series_jsonl(args.series)
+    slo = None
+    if args.report:
+        with open(args.report, "r", encoding="utf-8") as fh:
+            slo = RunReport.from_json(fh.read()).doc.get("slo")
+    print(
+        render_dashboard(
+            points, slo_results=slo, window_s=window_s, width=args.width
+        ),
+        end="",
+    )
+    return 0
+
+
+def cmd_fleet_report(args: argparse.Namespace) -> int:
+    """Run a small managed fleet and print its control-loop rollup."""
+    from repro.apps.base import default_config
+    from repro.core.deployer import DeploymentUtility
+    from repro.core.fleet import FleetManager
+    from repro.core.solver import SolverSettings
+
+    app = get_app(args.app)
+    cloud = SimulatedCloud(seed=args.seed, regions=_parse_regions(args.regions))
+    utility = DeploymentUtility(cloud)
+    # Bench-style fleet knobs: no forecast gate and no token bucket, so
+    # every checked workflow actually solves and the rollup shows real
+    # control-loop activity even for a tiny demo fleet.
+    fleet = FleetManager(
+        cloud,
+        utility,
+        TransmissionScenario.best_case(),
+        solver_settings=SolverSettings(
+            batch_size=30, max_samples=60, cov_threshold=0.2
+        ),
+        use_forecast=False,
+        use_token_bucket=False,
+        fixed_granularity=1,
+    )
+    executors = []
+    for i in range(args.workflows):
+        workflow = app.build_workflow()
+        workflow.name = f"{workflow.name}-{i:03d}"
+        deployed, executor = utility.deploy(
+            workflow, default_config(benchmarking_fraction=0.0)
+        )
+        fleet.register(deployed, executor)
+        executors.append(executor)
+    for executor in executors:
+        for _ in range(args.invocations):
+            executor.invoke(app.make_input(args.size), force_home=True)
+        cloud.env.run_until_idle()
+    fleet.check_all()
+    report = fleet.fleet_report()
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+    else:
+        print("\n".join(fleet_markdown_lines(report)).lstrip("\n"))
     return 0
 
 
@@ -297,6 +418,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="keep every N-th request's spans in the trace "
                             "(default 1 = record everything); cuts tracer "
                             "overhead on hot paths")
+    p_run.add_argument("--timeseries", metavar="FILE", default=None,
+                       help="sample every metric into per-window points on "
+                            "the virtual clock and write the series to FILE "
+                            "as JSONL (render with `caribou dash FILE`)")
+    p_run.add_argument("--window", type=float, default=DEFAULT_WINDOW_S,
+                       help="telemetry window in virtual seconds "
+                            "(default 3600 = the solver's hour granularity)")
+    p_run.add_argument("--slo", metavar="SPEC", action="append", nargs="?",
+                       const="", default=None,
+                       help="evaluate an SLO per window, e.g. "
+                            "'p95(executor.request_latency_s)<=1.0' or "
+                            "'rate(a/b)<=0.01@0.999'; repeatable; bare "
+                            "--slo applies the stock objectives")
+    p_run.add_argument("--export-prom", metavar="FILE", default=None,
+                       help="write the run's final metrics as Prometheus "
+                            "text exposition to FILE")
     p_run.set_defaults(func=cmd_run)
 
     p_solve = sub.add_parser("solve", help="print the solved 24-hour plan set")
@@ -338,6 +475,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_carbon.add_argument("--hours", type=int, default=24)
     p_carbon.add_argument("--seed", type=int, default=0)
     p_carbon.set_defaults(func=cmd_carbon)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="compare two runs: delta table over reports or series dumps",
+    )
+    p_diff.add_argument("a", help="first run artifact (report JSON or "
+                                  "series JSONL)")
+    p_diff.add_argument("b", help="second run artifact (same kind as A)")
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_dash = sub.add_parser(
+        "dash",
+        help="offline terminal dashboard (sparklines) for a series dump",
+    )
+    p_dash.add_argument("series", help="series JSONL from `caribou run "
+                                       "--timeseries`")
+    p_dash.add_argument("--report", metavar="FILE", default=None,
+                        help="run report JSON to pull SLO budget lines from")
+    p_dash.add_argument("--width", type=int, default=48,
+                        help="max sparkline width in characters (default 48)")
+    p_dash.set_defaults(func=cmd_dash)
+
+    p_fleet = sub.add_parser(
+        "fleet-report",
+        help="run a small managed fleet and print its control-loop rollup",
+    )
+    p_fleet.add_argument("app")
+    p_fleet.add_argument("-w", "--workflows", type=int, default=4,
+                         help="fleet size: copies of APP to manage "
+                              "(default 4)")
+    p_fleet.add_argument("-n", "--invocations", type=int, default=2,
+                         help="warm-up invocations per workflow (default 2)")
+    p_fleet.add_argument("--size", choices=("small", "large"), default="small")
+    p_fleet.add_argument("--regions", default=None)
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument("--json", action="store_true",
+                         help="emit the raw rollup as JSON instead of "
+                              "markdown")
+    p_fleet.set_defaults(func=cmd_fleet_report)
 
     return parser
 

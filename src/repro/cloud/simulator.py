@@ -124,6 +124,70 @@ class EventHandle:
         return self._event.state == _CANCELLED
 
 
+class RepeatingEvent:
+    """A self-rescheduling periodic event that cannot stall the loop.
+
+    Fires ``action(boundary_time)`` at every absolute multiple of
+    ``interval`` (starting strictly after arming) and re-arms itself
+    only while *other* events are pending — so a periodic observer
+    (the windowed telemetry flush, a health probe) never keeps
+    ``run_until_idle`` alive on its own.  Once the queue drains past a
+    firing, the event parks; :meth:`arm` resumes it, and :meth:`stop`
+    cancels it outright.
+
+    Alignment to absolute grid multiples (not ``now + interval``)
+    keeps firings backend-invariant: the boundary schedule depends
+    only on the virtual clock, never on when the observer attached
+    relative to other work.
+    """
+
+    __slots__ = ("_env", "interval", "_action", "_handle", "fired")
+
+    def __init__(
+        self,
+        env: "SimulationEnvironment",
+        interval: float,
+        action: Callable[[float], None],
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._env = env
+        self.interval = float(interval)
+        self._action = action
+        self._handle: Optional[EventHandle] = None
+        #: Number of boundary firings so far (observability / tests).
+        self.fired = 0
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and self._handle.pending
+
+    def arm(self) -> None:
+        """Schedule the next grid-aligned firing; no-op while armed."""
+        if self.armed:
+            return
+        now = self._env.now()
+        boundary = ((now // self.interval) + 1.0) * self.interval
+        self._handle = self._env.schedule_at(boundary, self._fire)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self.fired += 1
+        boundary = self._env.now()
+        self._action(boundary)
+        # Re-arm only while other work is pending: a periodic observer
+        # must never be the thing that keeps the simulation running.
+        if self._env.pending_events > 0:
+            self._handle = self._env.schedule_at(
+                boundary + self.interval, self._fire
+            )
+
+
 class SimulationEnvironment:
     """Shared event loop, clock, and RNG registry for one simulated cloud."""
 
@@ -185,6 +249,14 @@ class SimulationEnvironment:
         self._next_seq = seq + 1
         heapq.heappush(self._heap, (timestamp, seq, event))
         return EventHandle(event, self)
+
+    def every(
+        self, interval: float, action: Callable[[float], None]
+    ) -> RepeatingEvent:
+        """Create and arm a grid-aligned :class:`RepeatingEvent`."""
+        repeating = RepeatingEvent(self, interval, action)
+        repeating.arm()
+        return repeating
 
     # -- lazy deletion ---------------------------------------------------------
     def _note_cancelled(self) -> None:

@@ -222,6 +222,12 @@ class CaribouExecutor:
         # tracer is attached — untraced runs allocate nothing here.
         self._join_arrivals: Dict[str, List[Tuple[str, int, float]]] = {}
         self._watchdogs: Dict[str, EventHandle] = {}
+        # Virtual-time admission stamp per in-flight request, feeding the
+        # end-to-end latency histogram (cached: one instrument, hot path).
+        self._request_t0: Dict[str, float] = {}
+        self._latency_hist = self._metrics.histogram(
+            "executor.request_latency_s", workflow=self._d.name
+        )
         self._completed = 0
         self._failed = 0
         self._timed_out = 0
@@ -834,6 +840,7 @@ class CaribouExecutor:
         """Track a request end to end: every tracked request finishes as
         completed, failed, or timed out — never silently lost."""
         self._requests[rid] = "pending"
+        self._request_t0[rid] = self._cloud.env.now()
         self._tracer.open_request(rid, self._d.name)
         self._metrics.counter("executor.requests", workflow=self._d.name).inc()
         timeout = self._d.config.request_timeout_s
@@ -861,6 +868,9 @@ class CaribouExecutor:
         self._metrics.counter(
             "executor.requests_finished", workflow=self._d.name, status=status
         ).inc()
+        t0 = self._request_t0.pop(rid, None)
+        if t0 is not None:
+            self._latency_hist.observe(self._cloud.env.now() - t0)
         return True
 
     def _complete_request(self, rid: str) -> None:
@@ -876,6 +886,9 @@ class CaribouExecutor:
             self._requests[rid] = "timed_out"
             self._watchdogs.pop(rid, None)
             self._timed_out += 1
+            t0 = self._request_t0.pop(rid, None)
+            if t0 is not None:
+                self._latency_hist.observe(self._cloud.env.now() - t0)
             self._tracer.close_request(rid, "timed_out")
             self._metrics.counter(
                 "executor.requests_finished",

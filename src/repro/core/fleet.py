@@ -167,20 +167,37 @@ class FleetManager:
 
         Deterministic (no wall-clock values): counters here derive from
         virtual-time control activity only, so reports embedding this
-        stay byte-stable across machines.
+        stay byte-stable across machines.  Alongside the fleet totals,
+        ``per_workflow`` breaks the control-loop activity down by
+        workflow name (sorted), giving telemetry and the ``caribou
+        fleet-report`` CLI a per-workflow label dimension.
         """
         checks = solves = migrations = 0
         invocations = 0
-        for entry in self._entries.values():
-            manager = entry.manager
-            checks += len(manager.reports)
-            solves += sum(1 for r in manager.reports if r.solved)
-            migrations += sum(
+        per_workflow: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(self._entries):
+            manager = self._entries[name].manager
+            wf_checks = len(manager.reports)
+            wf_solves = sum(1 for r in manager.reports if r.solved)
+            wf_migrations = sum(
                 1
                 for r in manager.reports
                 if r.migration is not None and r.migration.activated
             )
-            invocations += sum(r.invocations_in_period for r in manager.reports)
+            wf_invocations = sum(
+                r.invocations_in_period for r in manager.reports
+            )
+            checks += wf_checks
+            solves += wf_solves
+            migrations += wf_migrations
+            invocations += wf_invocations
+            per_workflow[name] = {
+                "checks": wf_checks,
+                "invocations_observed": wf_invocations,
+                "migrations": wf_migrations,
+                "solves": wf_solves,
+                "tokens_g": manager.bucket.tokens_g,
+            }
         return {
             "cache_estimates": self.evaluation_cache.estimates_cached,
             "cache_invalidations": self.evaluation_cache.invalidations,
@@ -190,6 +207,7 @@ class FleetManager:
             "forecast_version": self.forecasts.version,
             "invocations_observed": invocations,
             "migrations": migrations,
+            "per_workflow": per_workflow,
             "solves": solves,
             "workflows": len(self._entries),
         }

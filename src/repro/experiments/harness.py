@@ -44,6 +44,14 @@ from repro.metrics.latency import TransferLatencyModel
 from repro.metrics.manager import MetricsManager
 from repro.model.config import Tolerances, WorkflowConfig
 from repro.model.plan import DeploymentPlan, HourlyPlanSet
+from repro.obs.slo import evaluate_slos
+from repro.obs.timeseries import (
+    TelemetryConfig,
+    WindowedSampler,
+    ledger_series,
+    merge_series,
+    render_prometheus,
+)
 from repro.obs.trace import Tracer
 
 HOME_REGION = "us-east-1"
@@ -112,6 +120,18 @@ class RunOutcome:
     #: deterministic (virtual-clock event count), used by the benchmark
     #: harness as the executor-throughput denominator.
     events_executed: Optional[int] = None
+    #: Windowed telemetry series (sampler + ledger points, merged and
+    #: sorted) when the run was made with a :class:`TelemetryConfig`.
+    series: Optional[List[Dict[str, Any]]] = None
+    #: Window size the series was sampled on (seconds of virtual time).
+    series_window_s: Optional[float] = None
+    #: Per-SLO evaluation dicts (see ``repro.obs.slo.SloResult.to_dict``)
+    #: when the telemetry config carried SLO specs.
+    slo: Optional[List[Dict[str, Any]]] = None
+    #: Prometheus text exposition of the run's final registry state
+    #: (telemetered runs only) — the registry itself dies with the
+    #: simulated cloud, so the exposition is rendered while it exists.
+    prom: Optional[str] = None
 
     def carbon(self, scenario: str) -> float:
         return self.per_scenario[scenario].mean_carbon_g
@@ -295,10 +315,19 @@ def _run_measurement(
     label: str,
     plan_set: Optional[HourlyPlanSet],
     solver_stats: Optional[SolverStats] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> RunOutcome:
     cloud = deployed.cloud
     start = cloud.now()
     step = duration_s / max(1, n_invocations)
+    # Windowed telemetry attaches before any measured work is scheduled,
+    # so the first window boundary is already armed when the loop starts;
+    # with telemetry off, nothing is scheduled and the event sequence is
+    # byte-identical to a pre-telemetry run.
+    sampler: Optional[WindowedSampler] = None
+    if telemetry is not None:
+        sampler = WindowedSampler(cloud.metrics, window_s=telemetry.window_s)
+        sampler.attach(cloud.env)
     rids: List[str] = []
     for i in range(n_invocations):
         payload = app.make_input(input_size)
@@ -307,6 +336,8 @@ def _run_measurement(
             lambda p=payload: rids.append(executor.invoke(p)),
         )
     cloud.run_until_idle()
+    if sampler is not None:
+        sampler.close()
 
     ledger = cloud.ledger
     # Under fault injection some requests fail before any execution is
@@ -365,6 +396,31 @@ def _run_measurement(
         executor.reliability() if hasattr(executor, "reliability") else None
     )
     metrics_snapshot = cloud.metrics.snapshot()
+
+    series: Optional[List[Dict[str, Any]]] = None
+    slo_results: Optional[List[Dict[str, Any]]] = None
+    prom_text: Optional[str] = None
+    if telemetry is not None and sampler is not None:
+        prom_text = render_prometheus(cloud.metrics)
+        series = sampler.points
+        if telemetry.ledger:
+            # Post-hoc per-window carbon/cost, priced under the first
+            # (reporting) scenario — ledger records carry virtual start
+            # times, so this is as deterministic as the sampler itself.
+            accountant = CarbonAccountant(
+                cloud.carbon_source,
+                CarbonModel(scenarios[0]),
+                CostModel(cloud.pricing_source),
+            )
+            series = merge_series(
+                series,
+                ledger_series(
+                    cloud.ledger, accountant, window_s=telemetry.window_s
+                ),
+            )
+        if telemetry.slos:
+            slo_results = evaluate_slos(telemetry.slos, series)
+
     return RunOutcome(
         app_name=app.name,
         input_size=input_size,
@@ -384,6 +440,12 @@ def _run_measurement(
         metrics=metrics_snapshot,
         per_region=per_region,
         events_executed=cloud.env.events_executed,
+        series=series,
+        series_window_s=(
+            telemetry.window_s if telemetry is not None else None
+        ),
+        slo=slo_results,
+        prom=prom_text,
     )
 
 
@@ -397,6 +459,7 @@ def run_coarse(
     scenarios: Optional[Sequence[TransmissionScenario]] = None,
     fault_plan: Optional[FaultPlan] = None,
     tracer: Optional[Tracer] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> RunOutcome:
     """Manual static single-region deployment (Fig. 7 "Coarse" bars).
 
@@ -430,6 +493,7 @@ def run_coarse(
         scenarios,
         label=f"coarse:{region}",
         plan_set=plan_set,
+        telemetry=telemetry,
     )
 
 
@@ -450,6 +514,7 @@ def run_caribou(
     tracer: Optional[Tracer] = None,
     jobs: Optional[int] = None,
     backend: Optional[str] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> RunOutcome:
     """Caribou fine-grained deployment over a region set (Fig. 7 "Fine").
 
@@ -491,4 +556,5 @@ def run_caribou(
         label=label or f"caribou:{'+'.join(regions)}",
         plan_set=plan_set,
         solver_stats=solver_stats,
+        telemetry=telemetry,
     )

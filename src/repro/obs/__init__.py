@@ -11,7 +11,13 @@ package provides that visibility without perturbing the simulation:
 * :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
   histograms the cloud services and the Caribou runtime report into;
 * :mod:`~repro.obs.render` — span-tree and summary renderers for the
-  ``caribou run --trace`` CLI path and offline analysis.
+  ``caribou run --trace`` CLI path and offline analysis;
+* :mod:`~repro.obs.timeseries` — windowed virtual-time sampling of the
+  registry into per-window series, with Prometheus/JSONL exporters;
+* :mod:`~repro.obs.slo` — declarative per-window SLOs with
+  error-budget burn-rate alerting over those series;
+* :mod:`~repro.obs.diffrun` / :mod:`~repro.obs.dash` — run-to-run
+  delta tables and the offline sparkline dashboard.
 
 Everything is inert by default: services hold the no-op
 :data:`~repro.obs.trace.NULL_TRACER`, which never allocates spans,
@@ -48,10 +54,31 @@ from repro.obs.render import (
     render_span_tree,
     render_trace_summary,
 )
+from repro.obs.dash import render_dashboard, sparkline
+from repro.obs.diffrun import diff_reports, diff_runs, diff_series
 from repro.obs.report import (
     REPORT_SCHEMA,
     RunReport,
     build_run_report,
+)
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SloResult,
+    SloSpec,
+    SloTracker,
+    evaluate_slos,
+    parse_slo,
+)
+from repro.obs.timeseries import (
+    DEFAULT_WINDOW_S,
+    SERIES_SCHEMA,
+    TelemetryConfig,
+    WindowedSampler,
+    ledger_series,
+    load_series_jsonl,
+    merge_series,
+    render_prometheus,
+    series_to_jsonl,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -63,6 +90,8 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_SLOS",
+    "DEFAULT_WINDOW_S",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -75,19 +104,37 @@ __all__ = [
     "REPORT_SCHEMA",
     "RequestPath",
     "RunReport",
+    "SERIES_SCHEMA",
     "SPAN_KINDS",
+    "SloResult",
+    "SloSpec",
+    "SloTracker",
     "Span",
     "SyncGateReport",
+    "TelemetryConfig",
     "TraceAnalysis",
     "Tracer",
+    "WindowedSampler",
     "analyze_trace",
     "build_run_report",
     "compute_critical_path",
+    "diff_reports",
+    "diff_runs",
+    "diff_series",
+    "evaluate_slos",
     "get_profiler",
+    "ledger_series",
     "load_jsonl",
+    "load_series_jsonl",
+    "merge_series",
+    "parse_slo",
     "profiled_phase",
     "render_critical_path",
+    "render_dashboard",
+    "render_prometheus",
     "render_span_tree",
     "render_trace_summary",
+    "series_to_jsonl",
     "set_profiler",
+    "sparkline",
 ]

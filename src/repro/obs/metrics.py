@@ -27,6 +27,32 @@ DEFAULT_BUCKETS = (
 )
 
 
+def format_bound(bound: float) -> str:
+    """Canonical string form of a histogram bucket bound (``"0.001"``,
+    ``"5"``, ...); the overflow bucket is spelled ``"+Inf"`` by callers."""
+    return format(bound, "g")
+
+
+def parse_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`_key`: ``"name{k=v,k2=v2}" -> ("name", {...})``.
+
+    Used by the exporters and the windowed sampler, which need the
+    label dimensions (workflow, region, status) back out of the flat
+    instrument keys the registry stores.
+    """
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    name = key[:brace]
+    inner = key[brace + 1 : -1]
+    labels: Dict[str, str] = {}
+    if inner:
+        for part in inner.split(","):
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
 def _key(name: str, labels: Dict[str, str]) -> str:
     if not labels:
         return name
@@ -211,9 +237,31 @@ class MetricsRegistry:
             )
         return inst
 
+    # -- iteration (sorted, for deterministic export) --------------------------
+    def iter_counters(self) -> Iterable[Tuple[str, Counter]]:
+        for key in sorted(self._counters):
+            yield key, self._counters[key]
+
+    def iter_gauges(self) -> Iterable[Tuple[str, Gauge]]:
+        for key in sorted(self._gauges):
+            yield key, self._gauges[key]
+
+    def iter_histograms(self) -> Iterable[Tuple[str, Histogram]]:
+        for key in sorted(self._histograms):
+            yield key, self._histograms[key]
+
     # -- export ----------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
-        """Flat, sorted, JSON-serialisable view of every instrument."""
+        """Flat, sorted, JSON-serialisable view of every instrument.
+
+        Histogram entries carry the summary stats plus a ``buckets``
+        mapping of upper bound (``"0.001"`` .. ``"+Inf"``, formatted
+        with :func:`format_bound`) to cumulative-within-run count per
+        bucket — the windowed sampler and the Prometheus exporter need
+        the full distribution, not just mean/quantiles.  The summary
+        keys (``count``/``sum``/``mean``/``min``/``max``) are stable;
+        ``buckets`` is purely additive.
+        """
         out: Dict[str, Any] = {}
         for key in sorted(self._counters):
             out[key] = self._counters[key].value
@@ -221,12 +269,18 @@ class MetricsRegistry:
             out[key] = self._gauges[key].value
         for key in sorted(self._histograms):
             h = self._histograms[key]
+            buckets = {
+                format_bound(b): h.bucket_counts[i]
+                for i, b in enumerate(h.bounds)
+            }
+            buckets["+Inf"] = h.bucket_counts[len(h.bounds)]
             out[key] = {
                 "count": h.count,
                 "sum": h.total,
                 "mean": h.mean,
                 "min": h.min if h.count else 0.0,
                 "max": h.max if h.count else 0.0,
+                "buckets": buckets,
             }
         return out
 

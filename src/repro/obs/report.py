@@ -38,6 +38,7 @@ REPORT_KEYS = (
     "run",
     "scenarios",
     "schema",
+    "slo",
     "solver",
 )
 
@@ -212,9 +213,27 @@ class RunReport:
 
         fleet = doc.get("fleet")
         if fleet:
-            lines += ["", "## Fleet", ""]
-            for key in sorted(fleet):
-                lines.append(f"- **{key}**: {fleet[key]}")
+            lines += fleet_markdown_lines(fleet)
+
+        slo = doc.get("slo")
+        if slo:
+            lines += [
+                "",
+                "## SLOs",
+                "",
+                "| objective | windows | violations | compliance "
+                "| budget spent | alerts | met |",
+                "|---|---|---|---|---|---|---|",
+            ]
+            for entry in slo:
+                met = "yes" if entry.get("met") else "**no**"
+                lines.append(
+                    f"| `{entry.get('name')}` | {entry.get('windows')} "
+                    f"| {entry.get('violations')} "
+                    f"| {_pct(entry.get('compliance'))} "
+                    f"| {_pct(entry.get('budget_spent'))} "
+                    f"| {len(entry.get('alerts') or [])} | {met} |"
+                )
 
         metrics = doc.get("metrics") or {}
         if metrics:
@@ -241,6 +260,34 @@ class RunReport:
         return "\n".join(lines) + "\n"
 
 
+def fleet_markdown_lines(fleet: Dict[str, Any]) -> list:
+    """Markdown lines for a fleet rollup: fleet totals plus the
+    per-workflow breakdown table.  Shared by :meth:`RunReport.to_markdown`
+    and the ``caribou fleet-report`` subcommand."""
+    lines = ["", "## Fleet", ""]
+    for key in sorted(fleet):
+        if key == "per_workflow":
+            continue
+        lines.append(f"- **{key}**: {fleet[key]}")
+    per_workflow = fleet.get("per_workflow") or {}
+    if per_workflow:
+        lines += [
+            "",
+            "| workflow | checks | solves | migrations "
+            "| invocations | tokens g |",
+            "|---|---|---|---|---|---|",
+        ]
+        for name in sorted(per_workflow):
+            w = per_workflow[name]
+            lines.append(
+                f"| {name} | {w.get('checks')} | {w.get('solves')} "
+                f"| {w.get('migrations')} "
+                f"| {w.get('invocations_observed')} "
+                f"| {_fmt(w.get('tokens_g'))} |"
+            )
+    return lines
+
+
 def _mg(grams: Optional[float]) -> Optional[float]:
     return None if grams is None else grams * 1000.0
 
@@ -261,6 +308,7 @@ def build_run_report(
     outcome,
     trace: Optional[Union[Tracer, Sequence[Span]]] = None,
     fleet: Optional[Dict[str, Any]] = None,
+    slo: Optional[Sequence[Dict[str, Any]]] = None,
 ) -> RunReport:
     """Assemble the report for one harness :class:`RunOutcome`.
 
@@ -268,8 +316,12 @@ def build_run_report(
     critical-path section; without it the section is ``None`` and the
     run itself is untouched — reporting never perturbs a simulation.
     ``fleet`` (a :meth:`~repro.core.fleet.FleetManager.fleet_report`
-    rollup) enables the fleet section for sweep runs.
+    rollup) enables the fleet section for sweep runs.  ``slo`` (per-SLO
+    evaluation dicts) defaults to the outcome's own ``slo`` attribute
+    when a telemetered run already evaluated its objectives.
     """
+    if slo is None:
+        slo = getattr(outcome, "slo", None)
     run = {
         "app": outcome.app_name,
         "input_size": outcome.input_size,
@@ -330,6 +382,7 @@ def build_run_report(
             "run": run,
             "scenarios": scenarios,
             "schema": REPORT_SCHEMA,
+            "slo": list(slo) if slo else None,
             "solver": solver,
         }
     )

@@ -120,6 +120,82 @@ class TestProfiler:
         assert profiler.total_s("sim.run") > 0.0
 
 
+class TestProfilerThreads:
+    """Nested-phase accounting when phases open on worker threads (the
+    thread solver backend's shape: every worker reports the same phase
+    names into one shared profiler)."""
+
+    def test_nesting_is_thread_local(self):
+        import threading
+
+        profiler = Profiler()
+        set_profiler(profiler)
+        n_workers = 4
+        barrier = threading.Barrier(n_workers)
+
+        def worker():
+            with profiled_phase("outer"):
+                barrier.wait()  # all workers inside "outer" at once
+                with profiled_phase("inner"):
+                    time.sleep(0.002)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = profiler.snapshot()
+        assert snap["outer"]["calls"] == n_workers
+        assert snap["inner"]["calls"] == n_workers
+        # Each worker's inner time subtracts from its OWN outer self
+        # time — never from a sibling thread's: self stays >= 0 and
+        # below total by at least the summed inner time.
+        assert snap["outer"]["self_s"] >= 0.0
+        assert snap["outer"]["self_s"] == pytest.approx(
+            snap["outer"]["total_s"] - snap["inner"]["total_s"], abs=5e-3
+        )
+
+    def test_worker_phase_does_not_nest_under_main_thread(self):
+        import threading
+
+        profiler = Profiler()
+        set_profiler(profiler)
+        with profiled_phase("main"):
+            t = threading.Thread(
+                target=lambda: profiled_phase("worker").__enter__().__exit__(
+                    None, None, None
+                )
+            )
+            t.start()
+            t.join()
+            time.sleep(0.001)
+        snap = profiler.snapshot()
+        # The worker's phase ran on its own (empty) stack, so it charged
+        # nothing to "main": main's self time equals its total time.
+        assert snap["main"]["self_s"] == pytest.approx(
+            snap["main"]["total_s"]
+        )
+        assert snap["worker"]["calls"] == 1
+
+    def test_thread_backend_run_reports_phases(self):
+        """End to end: a threaded solve still lands solver phases in the
+        shared table, with self_s never exceeding total_s."""
+        from repro.apps import get_app
+        from repro.experiments.harness import run_caribou
+
+        profiler = Profiler()
+        set_profiler(profiler)
+        run_caribou(
+            get_app("text2speech_censoring"), "small",
+            ("us-east-1", "ca-central-1"),
+            seed=0, n_invocations=2, jobs=2, backend="thread",
+        )
+        snap = profiler.snapshot()
+        assert snap, "threaded run reported no phases"
+        for name, entry in snap.items():
+            assert 0.0 <= entry["self_s"] <= entry["total_s"] + 1e-9, name
+
+
 # ------------------------------------------------------------------- schema
 def _valid_doc() -> dict:
     metrics = {
@@ -130,6 +206,8 @@ def _valid_doc() -> dict:
         metrics[name] = {"unit": "s", "value": 10.0}
     metrics["tracer_overhead_pct"] = {"unit": "%", "value": 1.5}
     metrics["tracer_sampled_overhead_pct"] = {"unit": "%", "value": 0.3}
+    for name in bench.OVERHEAD_METRICS:
+        metrics[name] = {"unit": "%", "value": 1.0}
     for name in bench.QUALITY_METRICS:
         metrics[name] = {"unit": "%", "value": 0.5}
     return {
@@ -225,6 +303,35 @@ class TestRegressionGate:
         current = copy.deepcopy(_valid_doc())
         current["metrics"]["tracer_overhead_pct"]["value"] = 500.0
         assert bench.check_regression(current, _valid_doc(), 2.0) == []
+
+    def test_telemetry_overhead_gated_absolutely(self):
+        # The ceiling is absolute: blowing it fails even when the
+        # baseline was just as bad (no ratchet laundering).
+        current = copy.deepcopy(_valid_doc())
+        current["metrics"]["telemetry_overhead_pct"]["value"] = 9.0
+        baseline = copy.deepcopy(_valid_doc())
+        baseline["metrics"]["telemetry_overhead_pct"]["value"] = 9.0
+        failures = bench.check_regression(current, baseline, 2.0)
+        assert len(failures) == 1
+        assert "telemetry_overhead_pct" in failures[0]
+
+    def test_telemetry_overhead_under_ceiling_passes(self):
+        current = copy.deepcopy(_valid_doc())
+        current["metrics"]["telemetry_overhead_pct"]["value"] = (
+            bench.MAX_TELEMETRY_OVERHEAD_PCT
+        )
+        # Exactly at the ceiling passes; negative (telemetry run faster,
+        # pure noise) passes too.
+        assert bench.check_regression(current, _valid_doc(), 2.0) == []
+        current["metrics"]["telemetry_overhead_pct"]["value"] = -3.0
+        assert bench.check_regression(current, _valid_doc(), 2.0) == []
+
+    def test_telemetry_ceiling_overridable(self):
+        current = copy.deepcopy(_valid_doc())
+        current["metrics"]["telemetry_overhead_pct"]["value"] = 9.0
+        assert bench.check_regression(
+            current, _valid_doc(), 2.0, max_overhead_pct=10.0
+        ) == []
 
     def test_missing_metric_skipped(self):
         current = copy.deepcopy(_valid_doc())

@@ -134,3 +134,112 @@ class TestObservabilityFlags:
         bogus.write_text('{"schema": "something/else"}')
         with pytest.raises(ValueError, match="not a run report"):
             main(["report", str(bogus)])
+
+
+class TestTelemetryFlags:
+    def test_run_parses_telemetry_flags(self):
+        args = build_parser().parse_args(
+            ["run", "x", "--timeseries", "s.jsonl", "--window", "60",
+             "--slo", "--export-prom", "p.txt"]
+        )
+        assert args.timeseries == "s.jsonl"
+        assert args.window == 60.0
+        assert args.slo == [""]  # bare --slo: stock objectives
+        assert args.export_prom == "p.txt"
+
+    def test_slo_accepts_explicit_specs(self):
+        args = build_parser().parse_args(
+            ["run", "x", "--slo", "p95(executor.request_latency_s)<=2",
+             "--slo", "ratio(ledger.carbon_g/ledger.requests)<=0.5"]
+        )
+        assert len(args.slo) == 2
+
+    def test_run_writes_series_prom_and_slo_status(self, tmp_path, capsys):
+        series = tmp_path / "run.series.jsonl"
+        prom = tmp_path / "run.prom.txt"
+        assert main(["run", "text2speech_censoring", "-n", "2",
+                     "--regions", "us-east-1,ca-central-1",
+                     "--timeseries", str(series),
+                     "--export-prom", str(prom), "--slo"]) == 0
+        out = capsys.readouterr().out
+        assert "timeseries" in out and "points ->" in out
+        assert "slo [" in out
+        text = series.read_text()
+        assert text.startswith('{"schema":"caribou.series/v1"')
+        assert "ledger.carbon_g" in text
+        assert prom.read_text().startswith("# TYPE caribou_")
+
+    def test_run_without_flags_has_no_telemetry(self, tmp_path, capsys):
+        assert main(["run", "text2speech_censoring", "-n", "2",
+                     "--regions", "us-east-1,ca-central-1"]) == 0
+        out = capsys.readouterr().out
+        assert "timeseries" not in out
+        assert "slo [" not in out
+
+
+class TestDiffDashCommands:
+    def _two_series(self, tmp_path, capsys):
+        paths = []
+        for seed in (1, 7):
+            path = tmp_path / f"run{seed}.series.jsonl"
+            main(["run", "text2speech_censoring", "-n", "2",
+                  "--regions", "us-east-1,ca-central-1",
+                  "--seed", str(seed), "--timeseries", str(path)])
+            paths.append(str(path))
+        capsys.readouterr()
+        return paths
+
+    def test_diff_two_seeds_emits_delta_table(self, tmp_path, capsys):
+        a, b = self._two_series(tmp_path, capsys)
+        assert main(["diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("## Series diff:")
+        assert "| metric | window |" in out
+        assert "changed" in out  # non-empty delta table
+
+    def test_diff_identical_artifacts(self, tmp_path, capsys):
+        a, _ = self._two_series(tmp_path, capsys)
+        assert main(["diff", a, a]) == 0
+        assert "No per-window differences." in capsys.readouterr().out
+
+    def test_dash_renders_sparklines(self, tmp_path, capsys):
+        a, _ = self._two_series(tmp_path, capsys)
+        assert main(["dash", a]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Caribou run dashboard")
+        assert "### Carbon by region (g)" in out
+
+    def test_dash_with_report_shows_slo_budget(self, tmp_path, capsys):
+        series = tmp_path / "run.series.jsonl"
+        report = tmp_path / "run.report.json"
+        main(["run", "text2speech_censoring", "-n", "2",
+              "--regions", "us-east-1,ca-central-1",
+              "--timeseries", str(series), "--slo",
+              "--report", str(report)])
+        capsys.readouterr()
+        assert main(["dash", str(series), "--report", str(report)]) == 0
+        assert "### SLO budget" in capsys.readouterr().out
+
+
+class TestFleetReportCommand:
+    def test_markdown_rollup(self, capsys):
+        assert main(["fleet-report", "text2speech_censoring",
+                     "-w", "2", "-n", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "**workflows**: 2" in out
+        assert "| workflow |" in out
+        assert "text2speech_censoring-000" in out
+        assert "text2speech_censoring-001" in out
+
+    def test_json_rollup(self, capsys):
+        assert main(["fleet-report", "text2speech_censoring",
+                     "-w", "2", "-n", "1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workflows"] == 2
+        assert doc["checks"] == 2
+        assert doc["solves"] == 2
+        assert set(doc["per_workflow"]) == {
+            "text2speech_censoring-000", "text2speech_censoring-001",
+        }
+        for entry in doc["per_workflow"].values():
+            assert entry["invocations_observed"] == 1

@@ -198,3 +198,43 @@ class TestFleetScale:
         victim = manager.workflows[0]
         manager.unregister(victim)
         assert manager.evaluation_cache.scopes == n - 1
+
+
+class TestPerWorkflowReport:
+    def test_fleet_report_breaks_down_per_workflow(self, fleet):
+        cloud, manager, entries = fleet
+        app, _deployed, executor = entries["rag_ingestion"]
+        for _ in range(3):
+            executor.invoke(app.make_input("small"), force_home=True)
+        cloud.run_until_idle()
+        manager.check_all()
+        report = manager.fleet_report()
+        per_wf = report["per_workflow"]
+        assert set(per_wf) == {"dna_visualization", "rag_ingestion"}
+        busy = per_wf["rag_ingestion"]
+        idle = per_wf["dna_visualization"]
+        assert busy["invocations_observed"] == 3
+        assert idle["invocations_observed"] == 0
+        assert busy["checks"] == idle["checks"] == 1
+        for entry in per_wf.values():
+            assert set(entry) == {
+                "checks", "invocations_observed", "migrations", "solves",
+                "tokens_g",
+            }
+
+    def test_per_workflow_sums_match_totals(self, fleet):
+        cloud, manager, entries = fleet
+        for name, (app, _d, executor) in entries.items():
+            executor.invoke(app.make_input("small"), force_home=True)
+        cloud.run_until_idle()
+        manager.check_all()
+        manager.check_all()
+        report = manager.fleet_report()
+        per_wf = report["per_workflow"]
+        for key in ("checks", "invocations_observed", "migrations", "solves"):
+            assert sum(e[key] for e in per_wf.values()) == report[key], key
+
+    def test_per_workflow_iteration_order_is_sorted(self, fleet):
+        _cloud, manager, _entries = fleet
+        names = list(manager.fleet_report()["per_workflow"])
+        assert names == sorted(names)

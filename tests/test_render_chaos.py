@@ -147,3 +147,33 @@ class TestTruncation:
         grouped = group_by_request(chaos_spans)
         assert set(grouped) == set(requests_in(chaos_spans))
         assert all(grouped.values())
+
+    def test_zero_budget_renders_only_the_marker(self, chaos_spans):
+        text = render_span_tree(chaos_spans, max_spans=0)
+        assert text == "... truncated at 0 spans"
+
+    def test_exact_span_count_needs_no_marker(self, chaos_spans):
+        n = len(render_span_tree(chaos_spans, max_spans=10**9).splitlines())
+        exact = render_span_tree(chaos_spans, max_spans=n)
+        assert "truncated" not in exact
+        assert len(exact.splitlines()) == n
+        # One fewer flips truncation on: the boundary is exclusive of
+        # nothing — max_spans is a hard line budget.
+        cut = render_span_tree(chaos_spans, max_spans=n - 1)
+        assert cut.splitlines()[-1] == f"... truncated at {n - 1} spans"
+
+    def test_request_scoped_truncation(self, chaos_spans):
+        rid = requests_in(chaos_spans)[0]
+        cut = render_span_tree(chaos_spans, request_id=rid, max_spans=2)
+        lines = cut.splitlines()
+        assert lines[-1] == "... truncated at 2 spans"
+        # The scoped cut is a prefix of the scoped full render.
+        full = render_span_tree(chaos_spans, request_id=rid)
+        assert lines[:-1] == full.splitlines()[:2]
+
+    def test_truncation_never_splits_multibyte_output(self, chaos_spans):
+        # Rendered lines survive an encode/decode round trip at every
+        # small cut (guards against slicing inside composed glyphs).
+        for max_spans in (1, 3, 11):
+            text = render_span_tree(chaos_spans, max_spans=max_spans)
+            assert text == text.encode("utf-8").decode("utf-8")

@@ -1,0 +1,226 @@
+"""Tests for declarative SLOs over windowed series (`repro.obs.slo`)."""
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_BURN_ALERTS,
+    DEFAULT_SLOS,
+    SloSpec,
+    SloTracker,
+    evaluate_slos,
+    parse_slo,
+)
+
+
+def _hist(metric, window, **quantiles):
+    point = {"metric": metric, "window": window, "type": "histogram",
+             "count": 10, "sum": 5.0, "buckets": {"1": 10}}
+    point.update(quantiles)
+    return point
+
+
+def _ctr(metric, window, value):
+    return {"metric": metric, "window": window, "type": "counter",
+            "value": value}
+
+
+# ------------------------------------------------------------------ parsing
+class TestParseSlo:
+    def test_quantile_spec(self):
+        spec = parse_slo("p95(executor.request_latency_s)<=0.8")
+        assert spec.kind == "quantile"
+        assert spec.metric == "executor.request_latency_s"
+        assert spec.quantile == 0.95
+        assert spec.threshold == 0.8
+        assert spec.target == 0.99
+
+    def test_rate_spec_with_labels(self):
+        spec = parse_slo(
+            "rate(executor.requests_finished{status=failed}"
+            "/executor.requests)<=0.01"
+        )
+        assert spec.kind == "rate"
+        assert spec.metric == "executor.requests_finished{status=failed}"
+        assert spec.denominator == "executor.requests"
+
+    def test_ratio_spec_with_target(self):
+        spec = parse_slo("ratio(ledger.carbon_g/ledger.requests)<=0.5@0.9")
+        assert spec.kind == "ratio"
+        assert spec.target == 0.9
+        assert spec.budget == pytest.approx(0.1)
+
+    def test_whitespace_tolerated(self):
+        spec = parse_slo("  p50( a.b ) <= 2.5 ")
+        assert (spec.kind, spec.metric, spec.threshold) == (
+            "quantile", "a.b", 2.5,
+        )
+
+    @pytest.mark.parametrize("bad", [
+        "p95(metric)",               # no threshold
+        "metric<=1",                 # no function
+        "rate(only_numerator)<=1",   # rate needs a denominator
+        "p0(metric)<=1",             # quantile out of range
+        "p100(metric)<=1",
+        "avg(metric)<=1",            # unknown function
+    ])
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_slo(bad)
+
+    def test_budget_never_zero(self):
+        assert SloSpec("s", "rate", "m", 1.0, target=1.0).budget > 0
+
+
+# --------------------------------------------------------------- evaluation
+class TestTrackerEvaluation:
+    def test_quantile_takes_worst_matching_series(self):
+        spec = parse_slo("p95(lat)<=1.0")
+        points = [
+            _hist("lat{workflow=a}", 0.0, p95=0.4),
+            _hist("lat{workflow=b}", 0.0, p95=2.0),
+        ]
+        [result] = SloTracker([spec]).evaluate(points)
+        assert result.windows[0].value == 2.0
+        assert not result.windows[0].ok
+
+    def test_label_filter_narrows_match(self):
+        spec = parse_slo("p95(lat{workflow=a})<=1.0")
+        points = [
+            _hist("lat{workflow=a}", 0.0, p95=0.4),
+            _hist("lat{workflow=b}", 0.0, p95=2.0),
+        ]
+        [result] = SloTracker([spec]).evaluate(points)
+        assert result.windows[0].value == 0.4
+        assert result.met
+
+    def test_rate_missing_numerator_counts_as_zero(self):
+        spec = parse_slo("rate(errors/requests)<=0.01")
+        points = [_ctr("requests", 0.0, 100.0)]
+        [result] = SloTracker([spec]).evaluate(points)
+        assert result.windows[0].value == 0.0
+        assert result.windows[0].ok
+
+    def test_ratio_missing_numerator_skips_window(self):
+        spec = parse_slo("ratio(carbon/requests)<=0.5")
+        points = [_ctr("requests", 0.0, 100.0)]
+        [result] = SloTracker([spec]).evaluate(points)
+        assert result.n_windows == 0
+        assert result.met  # vacuous compliance, zero budget spent
+        assert result.budget_spent == 0.0
+
+    def test_missing_denominator_skips_window(self):
+        spec = parse_slo("rate(errors/requests)<=0.01")
+        points = [_ctr("errors", 0.0, 5.0)]
+        [result] = SloTracker([spec]).evaluate(points)
+        assert result.n_windows == 0
+
+    def test_rate_sums_matching_label_sets(self):
+        spec = parse_slo("rate(done{status=failed}/reqs)<=0.05")
+        points = [
+            _ctr("done{status=failed,workflow=a}", 0.0, 2.0),
+            _ctr("done{status=failed,workflow=b}", 0.0, 1.0),
+            _ctr("done{status=completed,workflow=a}", 0.0, 97.0),
+            _ctr("reqs", 0.0, 100.0),
+        ]
+        [result] = SloTracker([spec]).evaluate(points)
+        assert result.windows[0].value == pytest.approx(0.03)
+
+    def test_histograms_contribute_count_to_rates(self):
+        spec = parse_slo("rate(lat/reqs)<=1.0")
+        points = [_hist("lat", 0.0), _ctr("reqs", 0.0, 20.0)]
+        [result] = SloTracker([spec]).evaluate(points)
+        assert result.windows[0].value == pytest.approx(0.5)
+
+    def test_compliance_and_budget_accounting(self):
+        spec = parse_slo("p95(lat)<=1.0@0.9")  # budget: 10% of windows
+        points = [
+            _hist("lat", float(w) * 10.0, p95=(2.0 if w == 0 else 0.5))
+            for w in range(5)
+        ]
+        [result] = SloTracker([spec]).evaluate(points)
+        assert result.n_windows == 5
+        assert result.n_violations == 1
+        assert result.compliance == pytest.approx(0.8)
+        assert result.budget_spent == pytest.approx(2.0)  # 20% bad / 10% budget
+        assert not result.met
+
+    def test_to_dict_is_report_ready(self):
+        spec = parse_slo("p95(lat)<=1.0")
+        doc = evaluate_slos([spec], [_hist("lat", 0.0, p95=0.5)])[0]
+        assert doc["name"] == spec.name
+        assert doc["met"] is True
+        assert doc["windows"] == 1 and doc["violations"] == 0
+        assert doc["alerts"] == []
+
+
+# -------------------------------------------------------------- burn alerts
+class TestBurnAlerts:
+    def _points(self, flags):
+        """One histogram window per flag; True = violating (p95 > 1)."""
+        return [
+            _hist("lat", float(i) * 10.0, p95=(5.0 if bad else 0.1))
+            for i, bad in enumerate(flags)
+        ]
+
+    def test_fast_burn_fires_on_rising_edge_only(self):
+        spec = parse_slo("p95(lat)<=1.0")  # budget 1%: any violation burns
+        tracker = SloTracker([spec], burn_alerts=((1, 14.4),))
+        [result] = tracker.evaluate(
+            self._points([False, True, True, False, True])
+        )
+        # Two excursions (windows 1-2 and window 4) => two alerts, not
+        # one per violating window.
+        assert len(result.alerts) == 2
+        assert [a["window"] for a in result.alerts] == [10.0, 40.0]
+        assert all(a["type"] == "slo_burn" for a in result.alerts)
+        assert all(a["span_windows"] == 1 for a in result.alerts)
+
+    def test_no_alerts_when_healthy(self):
+        spec = parse_slo("p95(lat)<=1.0")
+        [result] = SloTracker([spec]).evaluate(self._points([False] * 6))
+        assert result.alerts == []
+        assert result.met
+
+    def test_slow_burn_span_smooths_single_blips(self):
+        # Budget 50%: a single bad window in a 4-window trailing span is
+        # a 0.5 burn — below a 6x threshold, so only the fast span fires.
+        spec = parse_slo("p95(lat)<=1.0@0.5")
+        tracker = SloTracker([spec], burn_alerts=((1, 2.0), (4, 6.0)))
+        [result] = tracker.evaluate(
+            self._points([False, True, False, False, False])
+        )
+        assert [a["span_windows"] for a in result.alerts] == [1]
+
+    def test_default_alert_pair(self):
+        assert DEFAULT_BURN_ALERTS == ((1, 14.4), (6, 6.0))
+
+    def test_alert_carries_burn_rate(self):
+        spec = parse_slo("p95(lat)<=1.0@0.5")
+        tracker = SloTracker([spec], burn_alerts=((1, 2.0),))
+        [result] = tracker.evaluate(self._points([True]))
+        [alert] = result.alerts
+        assert alert["burn_rate"] == pytest.approx(2.0)  # 100% bad / 50% budget
+        assert alert["threshold"] == 2.0
+        assert alert["slo"] == spec.name
+
+
+# ----------------------------------------------------------------- defaults
+class TestDefaultSlos:
+    def test_cover_latency_errors_and_carbon(self):
+        kinds = {(s.kind, s.metric) for s in DEFAULT_SLOS}
+        assert ("quantile", "executor.request_latency_s") in kinds
+        assert ("ratio", "ledger.carbon_g") in kinds
+        assert any(s.kind == "rate" for s in DEFAULT_SLOS)
+
+    def test_metrics_exist_in_telemetered_runs(self):
+        """Default specs must reference real instrument names, so a bare
+        ``--slo`` is never vacuously green for the wrong reason."""
+        real = {
+            "executor.request_latency_s", "executor.requests",
+            "executor.requests_finished", "ledger.carbon_g",
+            "ledger.requests",
+        }
+        for spec in DEFAULT_SLOS:
+            for selector in (spec.metric, spec.denominator):
+                if selector:
+                    assert selector.split("{")[0] in real
