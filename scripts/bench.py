@@ -116,6 +116,7 @@ THROUGHPUT_METRICS = (
     "solver_batched_solves_per_s",
     "solver_parallel_solves_per_s",
     "solver_process_solves_per_s",
+    "service_jobs_per_s",
     "solver_solves_per_s",
     "workload_gen_events_per_s",
 )
@@ -541,6 +542,42 @@ def bench_fleet(smoke: bool) -> Dict[str, float]:
     }
 
 
+SERVICE_JOBS = 8
+SERVICE_JOBS_SMOKE = 3
+
+
+def bench_service(smoke: bool) -> Dict[str, float]:
+    """Jobs per wall second through the full service pipeline.
+
+    Submits ``SERVICE_JOBS`` copies of the benchmark app to a
+    :class:`~repro.service.ServiceEngine` and drains them
+    SUBMITTED -> MONITORING (deploy, warm-up + solve, migrate, register
+    with the fleet).  The solve dominates, so this is effectively the
+    end-to-end cost of onboarding one tenant.
+    """
+    from repro.service import MONITORING, MemoryJobStore, ServiceEngine
+
+    n = SERVICE_JOBS_SMOKE if smoke else SERVICE_JOBS
+    cloud = SimulatedCloud(seed=11)
+    engine = ServiceEngine(cloud, MemoryJobStore())
+    for _ in range(n):
+        engine.submit(APP, "small")
+    t0 = time.perf_counter()
+    steps = engine.run(max_steps=4 * n + 4)
+    elapsed = time.perf_counter() - t0
+    done = sum(1 for r in engine.jobs() if r.state == MONITORING)
+    if done != n:
+        raise RuntimeError(
+            f"service drained {done}/{n} jobs to MONITORING — the bench "
+            "must push every job through the whole pipeline"
+        )
+    return {
+        "service_jobs_per_s": done / elapsed,
+        "service_jobs": float(n),
+        "service_steps": float(steps),
+    }
+
+
 #: Request-sampling period for the sampled-tracer bench.
 TRACE_SAMPLE_EVERY = 8
 
@@ -750,6 +787,9 @@ def run_bench(label: str, smoke: bool, jobs: int) -> Dict[str, Any]:
         "hbss_carbon_gap_max_pct": "%",
         "hbss_quality_cases": "cases",
         "mc_samples_per_s": "samples/s",
+        "service_jobs": "jobs",
+        "service_jobs_per_s": "jobs/s",
+        "service_steps": "steps",
         "solver_batched_solves_per_s": "solves/s",
         "solver_parallel_solves_per_s": "solves/s",
         "solver_process_solves_per_s": "solves/s",
@@ -772,6 +812,7 @@ def run_bench(label: str, smoke: bool, jobs: int) -> Dict[str, Any]:
     raw.update(bench_executor(smoke))
     raw.update(bench_workload_gen(smoke))
     raw.update(bench_fleet(smoke))
+    raw.update(bench_service(smoke))
     raw.update(bench_solver_quality(smoke))
     raw.update(bench_tracer_overhead(smoke))
     raw.update(bench_telemetry(smoke, jobs))

@@ -284,6 +284,132 @@ def cmd_fleet_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default durable job store for the service commands.
+DEFAULT_JOB_STORE = ".caribou-jobs.json"
+
+
+def _job_store(args: argparse.Namespace):
+    from repro.service import LocalJobStore
+
+    return LocalJobStore(args.store)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a workflow as a durable job (state SUBMITTED)."""
+    from repro.service import JobRecord, SUBMITTED
+
+    if args.app not in ALL_APPS:
+        print(
+            f"caribou submit: unknown workflow {args.app!r} "
+            f"(available: {', '.join(sorted(ALL_APPS))})",
+            file=sys.stderr,
+        )
+        return 2
+    store = _job_store(args)
+    seq = len(store.job_ids()) + 1
+    job_id = args.job_id or f"{args.app}-{seq:04d}"
+    if store.load(job_id) is not None:
+        print(f"caribou submit: job {job_id!r} already exists", file=sys.stderr)
+        return 2
+    record = JobRecord(job_id=job_id, app=args.app, input_size=args.size)
+    store.save(record)
+    print(f"submitted {job_id} ({SUBMITTED}) -> {args.store}")
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """List all jobs in the durable store."""
+    store = _job_store(args)
+    records = store.load_all()
+    if args.json:
+        print(json.dumps([r.to_dict() for r in records], sort_keys=True,
+                         indent=2))
+        return 0
+    if not records:
+        print(f"no jobs in {args.store}")
+        return 0
+    print(f"{'job id':32s} {'app':24s} {'state':12s} {'updated':>10s}  note")
+    for r in records:
+        note = r.error or ""
+        print(
+            f"{r.job_id:32s} {r.app:24s} {r.state:12s} "
+            f"{r.updated_at_s:10.1f}  {note}"
+        )
+    return 0
+
+
+def cmd_job(args: argparse.Namespace) -> int:
+    """Show one job record, including its transition journal."""
+    store = _job_store(args)
+    record = store.load(args.job_id)
+    if record is None:
+        print(f"caribou job: no such job {args.job_id!r}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(record.to_dict(), sort_keys=True, indent=2))
+        return 0
+    print(f"job      : {record.job_id}")
+    print(f"app      : {record.app} (input {record.input_size})")
+    print(f"state    : {record.state}")
+    if record.error:
+        print(f"error    : {record.error}")
+    print(f"steps    : {', '.join(record.steps) or '(none)'}")
+    if record.artifacts.get("plan_set"):
+        print("artifacts: plan_set (persisted)")
+    print("journal  :")
+    for entry in record.journal:
+        extra = f"  [{entry.note}]" if entry.note else ""
+        print(
+            f"  t={entry.time_s:10.1f}  {entry.from_state:10s} -> "
+            f"{entry.to_state:10s}  step={entry.step or '-'}{extra}"
+        )
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    """Cancel a job in the durable store."""
+    store = _job_store(args)
+    record = store.load(args.job_id)
+    if record is None:
+        print(f"caribou cancel: no such job {args.job_id!r}", file=sys.stderr)
+        return 2
+    if not record.cancel(record.updated_at_s, note="cancelled via CLI"):
+        print(f"{record.job_id} is already terminal ({record.state})")
+        return 0
+    store.save(record)
+    print(f"cancelled {record.job_id}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Tick the service engine deterministically over the job store.
+
+    Builds a fresh simulated cloud, recovers every in-flight job from
+    the store (re-establishing deployments and re-applying persisted
+    plan artifacts — never re-solving), then runs up to ``--steps``
+    pipeline steps.  Safe to re-run: completed steps are skipped by
+    digest.
+    """
+    from repro.service import ServiceEngine
+
+    store = _job_store(args)
+    cloud = SimulatedCloud(seed=args.seed, regions=_parse_regions(args.regions))
+    engine = ServiceEngine(cloud, store)
+    hydrated = engine.recover()
+    executed = engine.run(max_steps=args.steps)
+    summary = engine.summary()
+    print(
+        f"serve: {summary['jobs']} job(s), {executed} step(s) executed, "
+        f"{hydrated} recovered from {args.store}"
+    )
+    for state, count in summary["by_state"].items():
+        print(f"  {state:12s} {count}")
+    if summary["fleet_workflows"]:
+        print(f"  fleet: {summary['fleet_workflows']} workflow(s) under "
+              "management")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Render a saved run report (JSON) or analyze a trace (JSONL)."""
     if args.file.endswith(".jsonl"):
@@ -514,6 +640,51 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the raw rollup as JSON instead of "
                               "markdown")
     p_fleet.set_defaults(func=cmd_fleet_report)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a workflow as a durable job (drive it with `serve`)",
+    )
+    p_submit.add_argument("app")
+    p_submit.add_argument("--size", choices=("small", "large"),
+                          default="small")
+    p_submit.add_argument("--job-id", default=None,
+                          help="explicit job id (default APP-NNNN)")
+    p_submit.add_argument("--store", default=DEFAULT_JOB_STORE,
+                          help=f"durable job store path (default "
+                               f"{DEFAULT_JOB_STORE})")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_jobs = sub.add_parser("jobs", help="list jobs in the durable store")
+    p_jobs.add_argument("--store", default=DEFAULT_JOB_STORE)
+    p_jobs.add_argument("--json", action="store_true")
+    p_jobs.set_defaults(func=cmd_jobs)
+
+    p_job = sub.add_parser(
+        "job", help="show one job record and its transition journal"
+    )
+    p_job.add_argument("job_id")
+    p_job.add_argument("--store", default=DEFAULT_JOB_STORE)
+    p_job.add_argument("--json", action="store_true")
+    p_job.set_defaults(func=cmd_job)
+
+    p_cancel = sub.add_parser("cancel", help="cancel a job")
+    p_cancel.add_argument("job_id")
+    p_cancel.add_argument("--store", default=DEFAULT_JOB_STORE)
+    p_cancel.set_defaults(func=cmd_cancel)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="tick the service engine over the job store "
+             "(submit -> analyze -> solve -> deploy -> monitor)",
+    )
+    p_serve.add_argument("--store", default=DEFAULT_JOB_STORE)
+    p_serve.add_argument("--steps", type=int, default=16,
+                         help="maximum pipeline steps to execute "
+                              "(default 16)")
+    p_serve.add_argument("--regions", default=None)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 

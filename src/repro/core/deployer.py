@@ -26,6 +26,7 @@ from repro.core.analysis import analyze_workflow
 from repro.core.api import FunctionSpec, Workflow
 from repro.core.executor import CaribouExecutor, DeployedWorkflow, topic_name
 from repro.model.config import WorkflowConfig
+from repro.model.dag import WorkflowDAG
 from repro.model.plan import DeploymentPlan, HourlyPlanSet
 
 #: Default container image size: a Python Lambda image with typical
@@ -46,34 +47,23 @@ class DeploymentUtility:
         config: WorkflowConfig,
         kv_region: Optional[str] = None,
         image_size_bytes: float = DEFAULT_IMAGE_SIZE_BYTES,
+        dag: Optional["WorkflowDAG"] = None,
     ) -> Tuple[DeployedWorkflow, CaribouExecutor]:
         """Initial deployment to the home region.
 
         Function-level constraints declared in code (the decorator's
         ``regions_and_providers``) are merged into the manifest config;
         explicit manifest entries win when both exist.
+
+        ``dag`` bypasses static analysis for workflows whose DAG was
+        constructed explicitly (the ``repro.service`` builder API);
+        without it the DAG is recovered from handler source as usual.
         """
-        if config.home_region not in self._cloud.regions:
-            raise ConfigurationError(
-                f"home region {config.home_region!r} is not offered by this "
-                f"provider (available: {list(self._cloud.regions)})"
-            )
-        dag = analyze_workflow(workflow)
-
-        merged = dict(config.function_constraints)
-        for spec in workflow.functions:
-            if spec.constraints is not None and spec.name not in merged:
-                merged[spec.name] = spec.constraints
-        config = dataclasses.replace(config, function_constraints=merged)
-
-        deployed = DeployedWorkflow(
-            workflow=workflow,
-            dag=dag,
-            config=config,
-            cloud=self._cloud,
-            kv_region=kv_region or config.home_region,
+        deployed, executor = self.attach(
+            workflow, config, kv_region=kv_region, dag=dag, subscribe=False
         )
-        executor = CaribouExecutor(deployed)
+        config = deployed.config
+        dag = deployed.dag
 
         home = config.home_region
         for spec in workflow.functions:
@@ -107,6 +97,61 @@ class DeploymentUtility:
                 created_at_s=self._cloud.now(),
             )
         )
+        return deployed, executor
+
+    def attach(
+        self,
+        workflow: Workflow,
+        config: WorkflowConfig,
+        kv_region: Optional[str] = None,
+        dag: Optional[WorkflowDAG] = None,
+        subscribe: bool = True,
+    ) -> Tuple[DeployedWorkflow, CaribouExecutor]:
+        """Build fresh runtime handles for a workflow *without* deploying.
+
+        The recovery path of the service engine: after an engine
+        restart the cloud still holds the functions, topics, and staged
+        plan, but the in-process ``DeployedWorkflow``/``CaribouExecutor``
+        objects are gone.  ``attach`` reconstructs them and (when
+        ``subscribe`` is set) re-subscribes the new executor to every
+        existing function-region topic — ``pubsub.subscribe`` replaces
+        the single subscriber, so stale closures from the dead engine
+        are displaced rather than doubled.  No KV writes happen here:
+        in particular the active plan staged before the crash survives.
+        """
+        if config.home_region not in self._cloud.regions:
+            raise ConfigurationError(
+                f"home region {config.home_region!r} is not offered by this "
+                f"provider (available: {list(self._cloud.regions)})"
+            )
+        if dag is None:
+            dag = analyze_workflow(workflow)
+
+        merged = dict(config.function_constraints)
+        for spec in workflow.functions:
+            if spec.constraints is not None and spec.name not in merged:
+                merged[spec.name] = spec.constraints
+        config = dataclasses.replace(config, function_constraints=merged)
+
+        deployed = DeployedWorkflow(
+            workflow=workflow,
+            dag=dag,
+            config=config,
+            cloud=self._cloud,
+            kv_region=kv_region or config.home_region,
+        )
+        executor = CaribouExecutor(deployed)
+        if subscribe:
+            for fn_deployment in self._cloud.functions.deployments_of(
+                workflow.name
+            ):
+                self._cloud.pubsub.subscribe(
+                    topic_name(workflow.name, fn_deployment.function),
+                    fn_deployment.region,
+                    executor.make_subscriber(
+                        fn_deployment.function, fn_deployment.region
+                    ),
+                )
         return deployed, executor
 
     def deploy_function(

@@ -104,7 +104,21 @@ class FleetManager:
         return manager
 
     def unregister(self, workflow_name: str) -> None:
-        self._entries.pop(workflow_name, None)
+        """Remove a workflow from fleet management.
+
+        Stops the manager's pending check chain *before* dropping its
+        cache scope (an armed ``run_for`` chain would otherwise keep
+        solving into an orphaned scope), and raises :class:`KeyError`
+        for unknown workflows — matching :meth:`manager_for` — so
+        service-layer cancel paths cannot mask typo'd names.
+        """
+        try:
+            entry = self._entries.pop(workflow_name)
+        except KeyError:
+            raise KeyError(
+                f"workflow {workflow_name!r} is not fleet-managed"
+            ) from None
+        entry.manager.stop()
         self.evaluation_cache.drop_scope(workflow_name)
 
     @property

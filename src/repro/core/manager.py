@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cloud.simulator import EventHandle
 from repro.core.executor import CaribouExecutor, DeployedWorkflow
 from repro.core.deployer import DeploymentUtility
 from repro.core.migrator import DeploymentMigrator, MigrationReport
@@ -133,8 +134,16 @@ class DeploymentManager:
             self._cloud.carbon_source, self._carbon_model, self._cost_model
         )
         self._rng = self._cloud.env.rng.get(f"solver:{deployed.name}")
-        self._last_check_s: Optional[float] = None
+        # Earn window opens at registration, not at t=0: a workflow
+        # brought under management late must not earn over the whole
+        # pre-registration history (that diluted the first-period earn
+        # rate and pushed the next check to max_check_period_s).
+        self._last_check_s: float = self._cloud.now()
         self._last_forecast_day: int = -1
+        #: Pending self-rescheduled check (run_for's chain); retained so
+        #: stop()/unregister can cancel it instead of letting armed
+        #: checks keep solving into a dropped cache scope.
+        self._pending_check: Optional["EventHandle"] = None
         self.reports: List[CheckReport] = []
         self.plan_history: List[Tuple[float, HourlyPlanSet]] = []
         #: Profile/estimate cache surviving across check() cycles;
@@ -220,8 +229,9 @@ class DeploymentManager:
         if active is not None and HourlyPlanSet.from_dict(active).is_expired(now):
             self._executor.clear_plan()
 
-        # Earn tokens from the past period (sliding window).
-        period_start = self._last_check_s if self._last_check_s is not None else 0.0
+        # Earn tokens from the past period (sliding window), starting
+        # at registration time for the first check.
+        period_start = self._last_check_s
         period = max(1.0, now - period_start)
         invocations = self.metrics.invocations_since(period_start)
         avg_runtime = self.metrics.average_runtime_s(period_start)
@@ -300,16 +310,41 @@ class DeploymentManager:
 
     def run_for(self, duration_s: float, first_check_delay_s: float = 0.0) -> None:
         """Schedule self-rescheduling checks over ``duration_s`` of
-        virtual time.  The caller advances the simulation."""
+        virtual time.  The caller advances the simulation.
+
+        The pending link of the chain is retained in
+        ``self._pending_check`` so :meth:`stop` (and through it
+        ``FleetManager.unregister``) can cancel the loop; without that
+        handle an unregistered workflow's armed checks kept firing —
+        solving, migrating, and writing into a dropped cache scope —
+        for the rest of the horizon.
+        """
         horizon = self._cloud.now() + duration_s
 
         def do_check() -> None:
             report = self.check()
             next_time = self._cloud.now() + report.next_check_delay_s
             if next_time < horizon:
-                self._cloud.env.schedule_at(next_time, do_check)
+                self._pending_check = self._cloud.env.schedule_at(
+                    next_time, do_check
+                )
+            else:
+                self._pending_check = None
 
-        self._cloud.env.schedule(first_check_delay_s, do_check)
+        self._pending_check = self._cloud.env.schedule(
+            first_check_delay_s, do_check
+        )
+
+    def stop(self) -> bool:
+        """Cancel the pending :meth:`run_for` check chain, if any.
+
+        Returns True when a pending check was actually cancelled.
+        Idempotent; safe to call on a manager that never ran."""
+        handle = self._pending_check
+        self._pending_check = None
+        if handle is None:
+            return False
+        return handle.cancel()
 
     # -- internals ---------------------------------------------------------------
     def _solve_and_migrate(

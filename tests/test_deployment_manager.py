@@ -263,3 +263,41 @@ class TestPlanExpiry:
         home = deployed.config.home_region
         fallback = executor.fetch_active_plan()
         assert set(fallback.assignments.values()) == {home}
+
+
+class TestLateRegistration:
+    """The earn window opens at registration time, not t=0.
+
+    Regression: ``_last_check_s`` used to fall back to 0.0, so a
+    workflow brought under management at t >> 0 counted (and earned
+    against) its entire pre-registration history in the first check.
+    """
+
+    def _deploy_with_history(self, n_before=7, registered_at_s=6 * 3600.0):
+        cloud = SimulatedCloud(seed=2)
+        app = get_app("rag_ingestion")
+        deployed, executor, utility = deploy_benchmark(app, cloud)
+        warm_up(executor, app, "small", n=n_before)  # pre-management traffic
+        cloud.env.run(until=registered_at_s)
+        dm = DeploymentManager(
+            deployed, executor, utility,
+            scenario=TransmissionScenario.best_case(),
+            solver_settings=FAST_SOLVER,
+            use_forecast=False,
+        )
+        return cloud, app, executor, dm
+
+    def test_fresh_manager_ignores_pre_registration_history(self):
+        cloud, app, executor, dm = self._deploy_with_history()
+        report = dm.check()
+        # The history is still *collected* into the metrics store...
+        assert report.new_records > 0
+        # ...but the first earn window is [registration, now), which is
+        # empty here — not [0, now), which held all 7 invocations.
+        assert report.invocations_in_period == 0
+
+    def test_first_window_counts_only_post_registration_traffic(self):
+        cloud, app, executor, dm = self._deploy_with_history()
+        warm_up(executor, app, "small", n=3)  # post-registration traffic
+        report = dm.check()
+        assert report.invocations_in_period == 3

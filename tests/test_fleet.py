@@ -238,3 +238,55 @@ class TestPerWorkflowReport:
         _cloud, manager, _entries = fleet
         names = list(manager.fleet_report()["per_workflow"])
         assert names == sorted(names)
+
+
+class TestUnregisterLifecycle:
+    """Unregistering must actually stop the control loop.
+
+    Regression: ``run_for`` used to discard its pending event handle,
+    so ``unregister`` dropped the cache scope while the self-scheduled
+    check chain kept firing against the orphaned manager forever.
+    """
+
+    def test_unregister_unknown_workflow_raises(self, fleet):
+        _cloud, manager, _entries = fleet
+        with pytest.raises(KeyError, match="ghost"):
+            manager.unregister("ghost")
+
+    def test_unregister_mid_run_stops_check_chain(self):
+        cloud, manager, _app, _executors = _build_fleet(
+            2,
+            trigger_settings=TriggerSettings(
+                min_check_period_s=2 * SECONDS_PER_HOUR,
+                max_check_period_s=2 * SECONDS_PER_HOUR,
+            ),
+        )
+        victim, survivor = manager.workflows
+        manager.run_for(SECONDS_PER_DAY, stagger_s=60.0)
+        cloud.env.run(until=5 * SECONDS_PER_HOUR)
+
+        victim_manager = manager.manager_for(victim)
+        checks_before = len(victim_manager.reports)
+        assert checks_before >= 2  # the chain was live before unregistering
+        scopes_before = manager.evaluation_cache.scopes
+
+        manager.unregister(victim)
+        assert manager.evaluation_cache.scopes == scopes_before - 1
+
+        cloud.run_until_idle()
+        # No check fired for the victim after unregistration...
+        assert len(victim_manager.reports) == checks_before
+        # ...no scope reappeared for it...
+        assert manager.evaluation_cache.scopes == scopes_before - 1
+        # ...while the survivor's chain ran on to the horizon.
+        assert len(manager.manager_for(survivor).reports) > checks_before
+
+    def test_stop_is_idempotent_and_reports_whether_armed(self, fleet):
+        cloud, manager, _entries = fleet
+        dm = manager.manager_for("rag_ingestion")
+        assert dm.stop() is False  # nothing scheduled yet
+        dm.run_for(SECONDS_PER_DAY)
+        assert dm.stop() is True
+        assert dm.stop() is False  # already cancelled
+        cloud.run_until_idle()
+        assert dm.reports == []
